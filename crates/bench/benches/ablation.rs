@@ -1,0 +1,132 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * filtering-stage ablation — how much does each stage change the
+//!   incident count (printed once) and what does each stage cost;
+//! * temporal-gap sensitivity — incident counts across gap thresholds;
+//! * fitting candidate-set ablation — model selection cost with and
+//!   without the heavy iterative families.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bgq_core::filtering::{filter_events, FilterConfig};
+use bgq_model::Span;
+use bgq_sim::{generate, SimConfig};
+use bgq_stats::dist::{Dist, DistKind};
+use bgq_stats::gof::select_best;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_filter_stage_ablation(c: &mut Criterion) {
+    let out = generate(
+        &SimConfig::small(60)
+            .with_seed(21)
+            .with_incident_gap_days(0.8),
+    );
+    let ras = &out.dataset.ras;
+
+    // Report the accuracy side of the ablation once, so bench logs carry it.
+    let truth = out.truth.logical_incident_count();
+    let strikes = out.truth.incidents.len();
+    let default = FilterConfig::default();
+    let no_similarity = FilterConfig {
+        similarity_window: Span::ZERO,
+        ..default.clone()
+    };
+    let no_spatial = FilterConfig {
+        spatial_proximity: 3, // everything is "near": stage 2 never splits
+        ..default.clone()
+    };
+    let coarse_only = FilterConfig {
+        spatial_proximity: 3,
+        similarity_window: Span::ZERO,
+        ..default.clone()
+    };
+    for (name, cfg) in [
+        ("full", &default),
+        ("no-similarity", &no_similarity),
+        ("no-spatial", &no_spatial),
+        ("temporal-only", &coarse_only),
+    ] {
+        let outcome = filter_events(ras, cfg);
+        eprintln!(
+            "ablation[{name}]: {} incidents (logical truth {truth}, {strikes} strikes, {} raw records)",
+            outcome.after_similarity, outcome.raw_fatal
+        );
+    }
+
+    let mut group = c.benchmark_group("filter_ablation");
+    group.sample_size(20);
+    for (name, cfg) in [
+        ("full", default),
+        ("no-similarity", no_similarity),
+        ("no-spatial", no_spatial),
+        ("temporal-only", coarse_only),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| black_box(filter_events(ras, cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_temporal_gap_sensitivity(c: &mut Criterion) {
+    let out = generate(
+        &SimConfig::small(60)
+            .with_seed(22)
+            .with_incident_gap_days(0.8),
+    );
+    let ras = &out.dataset.ras;
+    let mut group = c.benchmark_group("temporal_gap");
+    group.sample_size(20);
+    for mins in [5i64, 20, 60, 240] {
+        let cfg = FilterConfig {
+            temporal_gap: Span::from_mins(mins),
+            ..FilterConfig::default()
+        };
+        let outcome = filter_events(ras, &cfg);
+        eprintln!(
+            "gap {mins} min -> {} incidents (logical truth {})",
+            outcome.after_similarity,
+            out.truth.logical_incident_count()
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(mins), &cfg, |b, cfg| {
+            b.iter(|| black_box(filter_events(ras, cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_candidate_set_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(23);
+    let data = Dist::weibull(0.7, 1500.0)
+        .expect("static")
+        .sample_n(&mut rng, 20_000);
+    let closed_form = [
+        DistKind::Exponential,
+        DistKind::Pareto,
+        DistKind::LogNormal,
+        DistKind::InverseGaussian,
+    ];
+    let iterative = [DistKind::Weibull, DistKind::Gamma, DistKind::Erlang];
+    let mut group = c.benchmark_group("candidate_set");
+    group.sample_size(20);
+    group.bench_function("paper_full_set", |b| {
+        b.iter(|| black_box(select_best(&data, &DistKind::PAPER_CANDIDATES)));
+    });
+    group.bench_function("closed_form_only", |b| {
+        b.iter(|| black_box(select_best(&data, &closed_form)));
+    });
+    group.bench_function("iterative_only", |b| {
+        b.iter(|| black_box(select_best(&data, &iterative)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_filter_stage_ablation,
+    bench_temporal_gap_sensitivity,
+    bench_candidate_set_ablation
+);
+criterion_main!(benches);

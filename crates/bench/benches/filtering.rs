@@ -1,0 +1,42 @@
+//! Benchmarks of the similarity-based event filter (experiment E11's
+//! engine) across RAS log sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bgq_core::filtering::{filter_events, interruption_stats, FilterConfig};
+use bgq_sim::{generate, SimConfig};
+
+fn bench_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter_events");
+    group.sample_size(20);
+    for days in [10u32, 40, 120] {
+        let out = generate(
+            &SimConfig::small(days)
+                .with_seed(7)
+                .with_incident_gap_days(0.8),
+        );
+        let n = out.dataset.ras.len();
+        group.bench_with_input(
+            BenchmarkId::new("ras_records", n),
+            &out.dataset.ras,
+            |b, ras| {
+                let cfg = FilterConfig::default();
+                b.iter(|| black_box(filter_events(ras, &cfg)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interruptions(c: &mut Criterion) {
+    let out = generate(&SimConfig::small(60).with_seed(8));
+    let mut group = c.benchmark_group("interruption_stats");
+    group.bench_function("jobs_60d", |b| {
+        b.iter(|| black_box(interruption_stats(&out.dataset.jobs)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter, bench_interruptions);
+criterion_main!(benches);

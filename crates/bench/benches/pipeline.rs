@@ -1,0 +1,72 @@
+//! End-to-end pipeline benchmarks: generation, persistence, the joint
+//! join, and the full analysis — the operations a user of the toolkit
+//! pays for on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bgq_core::analysis::Analysis;
+use bgq_logs::join::{attribute_events, attribute_events_brute};
+use bgq_model::Severity;
+use bgq_sim::{generate, SimConfig};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(10);
+    for days in [5u32, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(days), &days, |b, &days| {
+            let cfg = SimConfig::small(days).with_seed(1);
+            b.iter(|| black_box(generate(&cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let out = generate(&SimConfig::small(30).with_seed(2));
+    let mut group = c.benchmark_group("analysis");
+    group.sample_size(10);
+    group.bench_function("full_30d", |b| {
+        b.iter(|| black_box(Analysis::run(&out.dataset)));
+    });
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let out = generate(&SimConfig::small(30).with_seed(3));
+    let ds = &out.dataset;
+    let mut group = c.benchmark_group("join");
+    group.sample_size(10);
+    group.bench_function("indexed", |b| {
+        b.iter(|| black_box(attribute_events(&ds.jobs, &ds.ras, Severity::Warn)));
+    });
+    group.bench_function("brute_force", |b| {
+        b.iter(|| black_box(attribute_events_brute(&ds.jobs, &ds.ras, Severity::Warn)));
+    });
+    group.finish();
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let out = generate(&SimConfig::small(10).with_seed(4));
+    let dir = std::env::temp_dir().join(format!("mira-bench-{}", std::process::id()));
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+    group.bench_function("save_10d", |b| {
+        b.iter(|| out.dataset.save_dir(&dir).expect("save"));
+    });
+    out.dataset.save_dir(&dir).expect("save");
+    group.bench_function("load_10d", |b| {
+        b.iter(|| black_box(bgq_logs::store::Dataset::load_dir(&dir).expect("load")));
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_analysis,
+    bench_join,
+    bench_persistence
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Statistics-substrate benchmarks: the distribution fitting and
+//! goodness-of-fit machinery behind experiment E7.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bgq_stats::dist::{Dist, DistKind};
+use bgq_stats::gof::{ks_statistic, select_best};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn samples(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    Dist::weibull(0.7, 1500.0)
+        .expect("static params")
+        .sample_n(&mut rng, n)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let data = samples(10_000);
+    let mut group = c.benchmark_group("fit_10k");
+    for kind in DistKind::ALL {
+        if kind == DistKind::Normal {
+            continue; // positive data; normal is uninteresting here
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, kind| {
+            b.iter(|| black_box(kind.fit(&data).expect("fits")));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ks_statistic");
+    let dist = Dist::weibull(0.7, 1500.0).expect("static params");
+    for n in [1_000usize, 10_000, 100_000] {
+        let data = samples(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| black_box(ks_statistic(data, &dist)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_model_selection(c: &mut Criterion) {
+    let data = samples(10_000);
+    let mut group = c.benchmark_group("model_selection");
+    group.sample_size(20);
+    group.bench_function("paper_candidates_10k", |b| {
+        b.iter(|| black_box(select_best(&data, &DistKind::PAPER_CANDIDATES)));
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let dists = [
+        Dist::exponential(0.01).expect("static"),
+        Dist::weibull(0.7, 1500.0).expect("static"),
+        Dist::pareto(45.0, 1.6).expect("static"),
+        Dist::inverse_gaussian(3000.0, 12000.0).expect("static"),
+        Dist::gamma(2.5, 0.01).expect("static"),
+    ];
+    let mut group = c.benchmark_group("sample_10k");
+    for d in dists {
+        group.bench_with_input(BenchmarkId::from_parameter(d.kind()), &d, |b, d| {
+            b.iter(|| black_box(d.sample_n(&mut rng, 10_000)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_ks, bench_model_selection, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Regenerates the paper's tables and figures from a synthetic trace.
+//!
+//! ```text
+//! cargo run --release -p bgq-bench --bin experiments -- --all
+//! cargo run --release -p bgq-bench --bin experiments -- e7 e11 e12
+//! cargo run --release -p bgq-bench --bin experiments -- --full --all   # 2001 days
+//! ```
+
+use std::process::ExitCode;
+
+use bgq_bench::{run_experiment, ExperimentCtx, EXPERIMENT_IDS};
+use bgq_sim::SimConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let all = args.iter().any(|a| a == "--all");
+    let days = args
+        .iter()
+        .position(|a| a == "--days")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u32>().ok());
+
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && EXPERIMENT_IDS.contains(&a.as_str()))
+        .cloned()
+        .collect();
+    let unknown: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && !EXPERIMENT_IDS.contains(&a.as_str()))
+        .filter(|a| days.map(|d| d.to_string()) != Some((*a).clone()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment ids {unknown:?}; valid: {} (or --all)",
+            EXPERIMENT_IDS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    if ids.is_empty() && !all {
+        eprintln!(
+            "usage: experiments [--full] [--days N] (--all | e1 .. e14)\nvalid ids: {}",
+            EXPERIMENT_IDS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let config = if full {
+        let mut c = SimConfig::mira_2k_days();
+        if let Some(d) = days {
+            c.days = d;
+        }
+        c
+    } else {
+        SimConfig {
+            days: days.unwrap_or(180),
+            ..SimConfig::mira_2k_days()
+        }
+    };
+    eprintln!(
+        "generating {} days of synthetic Mira logs (seed {}) and running the analysis ...",
+        config.days, config.seed
+    );
+    let started = std::time::Instant::now();
+    let ctx = ExperimentCtx::new(config);
+    eprintln!(
+        "trace ready in {:.1}s: {} jobs, {} RAS records",
+        started.elapsed().as_secs_f64(),
+        ctx.output.dataset.jobs.len(),
+        ctx.output.dataset.ras.len()
+    );
+
+    let selected: Vec<&str> = if all {
+        EXPERIMENT_IDS.to_vec()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    for id in selected {
+        match run_experiment(id, &ctx) {
+            Ok(text) => println!("{text}"),
+            Err(err) => {
+                eprintln!("error: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

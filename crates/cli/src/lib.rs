@@ -1,0 +1,429 @@
+//! `mira-mine` command implementation.
+//!
+//! The binary is a thin wrapper over [`run`], which parses arguments and
+//! returns the text to print — making every command unit-testable.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use bgq_core::analysis::Analysis;
+use bgq_core::filtering::FilterConfig;
+use bgq_core::report::{group_thousands, percent, Align, Table};
+use bgq_core::takeaways::takeaways;
+use bgq_logs::store::Dataset;
+use bgq_model::Span;
+use bgq_sim::{generate, SimConfig};
+
+/// Errors surfaced to the user (exit code 1, message on stderr).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line; the usage text is included.
+    Usage(String),
+    /// Dataset load/save failure.
+    Store(bgq_logs::store::StoreError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Store(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<bgq_logs::store::StoreError> for CliError {
+    fn from(e: bgq_logs::store::StoreError) -> Self {
+        CliError::Store(e)
+    }
+}
+
+/// Usage text shown by `help` and on argument errors.
+pub const USAGE: &str = "\
+mira-mine — Mira BG/Q failure-mining toolkit (DSN 2019 reproduction)
+
+USAGE:
+  mira-mine gen --out DIR [--days N] [--seed S] [--full]
+      Generate a synthetic Mira trace into DIR (jobs/ras/tasks/io CSVs).
+      --days N   horizon in days (default 60)
+      --seed S   RNG seed (default 1)
+      --full     use the full 2001-day Mira configuration (overrides --days
+                 unless --days is also given)
+
+  mira-mine analyze DIR
+      Load a trace from DIR and print the characterization tables.
+
+  mira-mine report DIR
+      Load a trace from DIR and print the 22 re-derived takeaways.
+
+  mira-mine filter DIR [--gap-mins G] [--window-hours W]
+      Print the fatal-event filtering funnel and MTBF per stage.
+
+  mira-mine lifetime DIR [--window-days N]
+      Print the reliability evolution across the trace (default 90-day
+      windows).
+
+  mira-mine predict DIR
+      Run the precursor-based fatal-incident predictor and print its
+      precision/recall/lead-time evaluation.
+
+  mira-mine help
+      Show this message.";
+
+fn parse_flag(args: &[String], name: &str) -> Result<Option<String>, CliError> {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if a == name {
+            return match iter.next() {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(CliError::Usage(format!("{name} requires a value"))),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse_num<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, CliError> {
+    match parse_flag(args, name)? {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| CliError::Usage(format!("invalid value for {name}: {raw:?}"))),
+    }
+}
+
+/// Parses and executes a command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed invocations and
+/// [`CliError::Store`] when the dataset cannot be read or written.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        Some("filter") => cmd_filter(&args[1..]),
+        Some("lifetime") => cmd_lifetime(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn cmd_gen(args: &[String]) -> Result<String, CliError> {
+    let out_dir: PathBuf = parse_flag(args, "--out")?
+        .ok_or_else(|| CliError::Usage("gen requires --out DIR".into()))?
+        .into();
+    let days: Option<u32> = parse_num(args, "--days")?;
+    let seed: u64 = parse_num(args, "--seed")?.unwrap_or(1);
+    let full = args.iter().any(|a| a == "--full");
+    let mut config = if full {
+        SimConfig::mira_2k_days()
+    } else {
+        SimConfig::small(days.unwrap_or(60))
+    };
+    if let Some(d) = days {
+        config.days = d;
+    }
+    config = config.with_seed(seed);
+    let output = generate(&config);
+    output.dataset.save_dir(&out_dir)?;
+    Ok(format!(
+        "wrote {} jobs, {} RAS events, {} tasks, {} I/O profiles to {}",
+        group_thousands(output.dataset.jobs.len() as u64),
+        group_thousands(output.dataset.ras.len() as u64),
+        group_thousands(output.dataset.tasks.len() as u64),
+        group_thousands(output.dataset.io.len() as u64),
+        out_dir.display()
+    ))
+}
+
+fn load(args: &[String]) -> Result<Dataset, CliError> {
+    let dir = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("missing dataset directory".into()))?;
+    Ok(Dataset::load_dir(std::path::Path::new(dir))?)
+}
+
+fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
+    let ds = load(args)?;
+    let a = Analysis::run(&ds);
+    let mut out = String::new();
+
+    if let Some(t) = &a.totals {
+        out.push_str(&format!(
+            "trace: {} jobs / {:.0} days / {:.3e} core-hours / {} users / {} projects\n\n",
+            group_thousands(t.jobs as u64),
+            t.span_days(),
+            t.core_hours,
+            t.users,
+            t.projects
+        ));
+    } else {
+        return Ok("trace is empty\n".to_owned());
+    }
+
+    let mut classes = Table::new(
+        vec!["class".into(), "jobs".into(), "share".into(), "attribution".into()],
+        vec![Align::Left, Align::Right, Align::Right, Align::Left],
+    );
+    let total: usize = a.class_breakdown.values().sum();
+    for (class, count) in &a.class_breakdown {
+        classes.row(vec![
+            class.to_string(),
+            group_thousands(*count as u64),
+            percent(*count as f64 / total as f64),
+            class
+                .attribution()
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    out.push_str("exit classes:\n");
+    out.push_str(&classes.render());
+    if let Some(share) = a.user_caused_share {
+        out.push_str(&format!("user-caused share of failures: {}\n", percent(share)));
+    }
+
+    let mut scale = Table::new(
+        vec!["nodes".into(), "jobs".into(), "fail-rate".into()],
+        vec![Align::Right, Align::Right, Align::Right],
+    );
+    for b in &a.rate_by_scale.buckets {
+        scale.row(vec![
+            b.label.clone(),
+            group_thousands(b.jobs as u64),
+            percent(b.rate()),
+        ]);
+    }
+    out.push_str("\nfailure rate by scale:\n");
+    out.push_str(&scale.render());
+
+    if !a.class_fits.is_empty() {
+        let mut fits = Table::new(
+            vec!["class".into(), "n".into(), "best fit".into(), "KS D".into()],
+            vec![Align::Left, Align::Right, Align::Left, Align::Right],
+        );
+        for f in &a.class_fits {
+            if let Some(best) = f.best() {
+                fits.row(vec![
+                    f.class.to_string(),
+                    f.n.to_string(),
+                    best.dist.to_string(),
+                    format!("{:.4}", best.ks_statistic),
+                ]);
+            }
+        }
+        out.push_str("\nbest-fit execution-length distribution per class:\n");
+        out.push_str(&fits.render());
+    }
+
+    out.push_str(&format!(
+        "\nfilter funnel: {} raw FATAL -> {} temporal -> {} spatial -> {} incidents\n",
+        a.filter.raw_fatal, a.filter.after_temporal, a.filter.after_spatial, a.filter.after_similarity
+    ));
+    if let Some(mtbf) = a.filter.mtbf_days(a.filter.after_similarity) {
+        out.push_str(&format!("filtered MTBF: {mtbf:.2} days\n"));
+    }
+    if let Some(mtti) = a.interruptions.mtti_days {
+        out.push_str(&format!(
+            "mean time to interruption: {mtti:.2} days ({} interrupted jobs)\n",
+            a.interruptions.interrupted_jobs
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    let ds = load(args)?;
+    let a = Analysis::run(&ds);
+    let mut out = String::from("The 22 takeaways, re-derived from this trace:\n\n");
+    for t in takeaways(&a) {
+        out.push_str(&format!("[T{:02}] {}\n", t.id, t.statement));
+    }
+    Ok(out)
+}
+
+fn cmd_filter(args: &[String]) -> Result<String, CliError> {
+    let ds = load(args)?;
+    let mut config = FilterConfig::default();
+    if let Some(gap) = parse_num::<i64>(args, "--gap-mins")? {
+        config.temporal_gap = Span::from_mins(gap);
+    }
+    if let Some(window) = parse_num::<i64>(args, "--window-hours")? {
+        config.similarity_window = Span::from_hours(window);
+    }
+    let outcome = bgq_core::filtering::filter_events(&ds.ras, &config);
+    let mut table = Table::new(
+        vec!["stage".into(), "clusters".into(), "MTBF (days)".into()],
+        vec![Align::Left, Align::Right, Align::Right],
+    );
+    let fmt_mtbf = |n: usize| {
+        outcome
+            .mtbf_days(n)
+            .map(|d| format!("{d:.2}"))
+            .unwrap_or_else(|| "-".into())
+    };
+    table.row(vec!["raw FATAL".into(), outcome.raw_fatal.to_string(), fmt_mtbf(outcome.raw_fatal)]);
+    table.row(vec![
+        "temporal".into(),
+        outcome.after_temporal.to_string(),
+        fmt_mtbf(outcome.after_temporal),
+    ]);
+    table.row(vec![
+        "spatial".into(),
+        outcome.after_spatial.to_string(),
+        fmt_mtbf(outcome.after_spatial),
+    ]);
+    table.row(vec![
+        "similarity".into(),
+        outcome.after_similarity.to_string(),
+        fmt_mtbf(outcome.after_similarity),
+    ]);
+    Ok(table.render())
+}
+
+fn cmd_lifetime(args: &[String]) -> Result<String, CliError> {
+    let ds = load(args)?;
+    let window: u32 = parse_num(args, "--window-days")?.unwrap_or(90);
+    if window == 0 {
+        return Err(CliError::Usage("--window-days must be positive".into()));
+    }
+    let series = bgq_core::lifetime::lifetime_series(&ds.jobs, &ds.ras, window);
+    let mut table = Table::new(
+        vec![
+            "window start".into(),
+            "jobs".into(),
+            "fail-rate".into(),
+            "system kills".into(),
+            "fatal records".into(),
+        ],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right],
+    );
+    for w in &series.windows {
+        table.row(vec![
+            w.start.to_string(),
+            group_thousands(w.jobs as u64),
+            percent(w.failure_rate()),
+            w.system_kills.to_string(),
+            group_thousands(w.fatal_records as u64),
+        ]);
+    }
+    let mut out = table.render();
+    if let Some(r) = series.early_to_late_fatal_ratio {
+        out.push_str(&format!(
+            "\nearly-to-late fatal-record ratio: {r:.2} (> 1 means reliability improved)\n"
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_predict(args: &[String]) -> Result<String, CliError> {
+    use bgq_core::filtering::{filter_events, FilterConfig};
+    use bgq_core::prediction::{predict_and_evaluate, PredictorConfig};
+    let ds = load(args)?;
+    let incidents = filter_events(&ds.ras, &FilterConfig::default()).incidents;
+    let report = predict_and_evaluate(&ds.ras, &incidents, &PredictorConfig::default());
+    let mut table = Table::new(
+        vec!["metric".into(), "value".into()],
+        vec![Align::Left, Align::Right],
+    );
+    table.row(vec!["alarms raised".into(), report.alarms.len().to_string()]);
+    table.row(vec!["true alarms".into(), report.true_alarms.to_string()]);
+    table.row(vec!["incidents".into(), report.total_incidents.to_string()]);
+    table.row(vec![
+        "predicted incidents".into(),
+        report.predicted_incidents.to_string(),
+    ]);
+    table.row(vec![
+        "precision".into(),
+        report
+            .precision()
+            .map(percent)
+            .unwrap_or_else(|| "n/a".into()),
+    ]);
+    table.row(vec![
+        "recall".into(),
+        report.recall().map(percent).unwrap_or_else(|| "n/a".into()),
+    ]);
+    table.row(vec![
+        "mean lead time".into(),
+        report
+            .mean_lead_s
+            .map(|s| format!("{:.0} min", s / 60.0))
+            .unwrap_or_else(|| "n/a".into()),
+    ]);
+    Ok(table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mira-cli-{tag}-{}", std::process::id()))
+    }
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&s(&["help"])).unwrap().contains("mira-mine gen"));
+        let err = run(&s(&["frobnicate"])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_requires_out() {
+        let err = run(&s(&["gen"])).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn gen_analyze_report_filter_pipeline() {
+        let dir = temp_dir("pipeline");
+        let dir_str = dir.to_str().unwrap();
+        let msg = run(&s(&["gen", "--out", dir_str, "--days", "8", "--seed", "3"])).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+
+        let analysis = run(&s(&["analyze", dir_str])).unwrap();
+        assert!(analysis.contains("exit classes"), "{analysis}");
+        assert!(analysis.contains("failure rate by scale"));
+        assert!(analysis.contains("filter funnel"));
+
+        let report = run(&s(&["report", dir_str])).unwrap();
+        assert_eq!(report.matches("[T").count(), 22, "{report}");
+
+        let filtered = run(&s(&["filter", dir_str, "--gap-mins", "30"])).unwrap();
+        assert!(filtered.contains("similarity"));
+
+        let lifetime = run(&s(&["lifetime", dir_str, "--window-days", "4"])).unwrap();
+        assert!(lifetime.contains("fail-rate"), "{lifetime}");
+
+        let predict = run(&s(&["predict", dir_str])).unwrap();
+        assert!(predict.contains("precision"), "{predict}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn analyze_missing_dir_is_store_error() {
+        let err = run(&s(&["analyze", "/nonexistent/mira-data"])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)));
+    }
+
+    #[test]
+    fn bad_numeric_flag_is_usage_error() {
+        let dir = temp_dir("badnum");
+        let err = run(&s(&["gen", "--out", dir.to_str().unwrap(), "--days", "soon"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+}

@@ -1,0 +1,30 @@
+//! `mira-mine`: generate, analyze, and report on Mira-style failure logs.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bgq_cli::run(&args) {
+        Ok(output) => {
+            // A closed pipe (`mira-mine report … | head`) is a normal way
+            // to consume the output — exit quietly instead of panicking.
+            let mut stdout = std::io::stdout().lock();
+            match writeln!(stdout, "{output}") {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: failed writing output: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(err) => {
+            // Same courtesy on stderr: usage text can be longer than what
+            // a truncating pipe wants.
+            let mut stderr = std::io::stderr().lock();
+            let _ = writeln!(stderr, "error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The one-call facade: run every analysis of the paper over a dataset.
+
+use bgq_logs::store::Dataset;
+use bgq_model::ras::Severity;
+
+use crate::failure_rates::{by_consumed_core_hours, by_core_hours, by_scale, by_tasks, RateCurve};
+use crate::filtering::{filter_events, interruption_stats, FilterConfig, FilterOutcome, InterruptionStats};
+use crate::fitting::{fit_by_class, fit_interruption_intervals, ClassFit};
+use crate::io_analysis::{io_outcome_stats, IoOutcomeStats};
+use crate::jobstats::{
+    class_breakdown, per_project, per_user, size_mix, user_caused_share, DatasetTotals,
+    EntityActivity, SizeMixRow, TemporalProfile,
+};
+use crate::lifetime::{lifetime_series, LifetimeSeries};
+use crate::locality::{locality_map, Level, LocalityMap};
+use crate::prediction::{predict_and_evaluate, PredictionReport, PredictorConfig};
+use crate::queueing::{mean_utilization, waits_by_queue, waits_by_size, WaitRow};
+use crate::ras_analysis::{breakdown, user_event_correlation, RasBreakdown, UserEventCorrelation};
+
+/// Minimum failed jobs in an exit class before the class is fitted.
+pub const MIN_FIT_SAMPLES: usize = 30;
+
+/// Everything the paper computes, in one struct.
+///
+/// # Examples
+///
+/// ```
+/// use bgq_core::analysis::Analysis;
+/// use bgq_sim::{generate, SimConfig};
+///
+/// let out = generate(&SimConfig::small(5).with_seed(2));
+/// let analysis = Analysis::run(&out.dataset);
+/// assert!(analysis.totals.as_ref().unwrap().jobs > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// E1: dataset totals.
+    pub totals: Option<DatasetTotals>,
+    /// E2: job-size mix.
+    pub size_mix: Vec<SizeMixRow>,
+    /// E3: per-user activity, descending by job count.
+    pub per_user: Vec<EntityActivity>,
+    /// E3: per-project activity.
+    pub per_project: Vec<EntityActivity>,
+    /// E4: failure-class breakdown.
+    pub class_breakdown: std::collections::BTreeMap<crate::exitcode::ExitClass, usize>,
+    /// E4: user-attributed share of failures.
+    pub user_caused_share: Option<f64>,
+    /// E5: failure rate by scale.
+    pub rate_by_scale: RateCurve,
+    /// E6: failure rate by task count.
+    pub rate_by_tasks: RateCurve,
+    /// E6: failure rate by *requested* core-hours.
+    pub rate_by_core_hours: RateCurve,
+    /// E6: failure rate by *consumed* core-hours (survivorship panel).
+    pub rate_by_consumed_core_hours: RateCurve,
+    /// E7: per-class distribution fits.
+    pub class_fits: Vec<ClassFit>,
+    /// E8: RAS breakdown.
+    pub ras: RasBreakdown,
+    /// E9: user/core-hour correlation of job-affecting events.
+    pub user_events: UserEventCorrelation,
+    /// E10: fatal locality at board granularity.
+    pub locality_boards: LocalityMap,
+    /// E10: fatal locality at rack granularity.
+    pub locality_racks: LocalityMap,
+    /// E11: the filtering funnel.
+    pub filter: FilterOutcome,
+    /// E12: interruption statistics.
+    pub interruptions: InterruptionStats,
+    /// E13: submission temporal profile.
+    pub submissions_profile: TemporalProfile,
+    /// E13: failure temporal profile.
+    pub failures_profile: TemporalProfile,
+    /// E13: interruption-interval fit.
+    pub interval_fit: Option<bgq_stats::gof::ModelSelection>,
+    /// I/O behavior by outcome.
+    pub io: IoOutcomeStats,
+    /// E15: reliability evolution over the system's life (90-day windows).
+    pub lifetime: LifetimeSeries,
+    /// E16: precursor-based prediction evaluated against the filtered
+    /// incidents.
+    pub prediction: PredictionReport,
+    /// E17: queue waits by job size.
+    pub waits_by_size: Vec<WaitRow>,
+    /// E17: queue waits by queue class.
+    pub waits_by_queue: Vec<WaitRow>,
+    /// E17: mean machine utilization over the trace.
+    pub mean_utilization: Option<f64>,
+}
+
+impl Analysis {
+    /// Runs every analysis with the default [`FilterConfig`].
+    pub fn run(ds: &Dataset) -> Self {
+        Analysis::run_with(ds, &FilterConfig::default())
+    }
+
+    /// Runs every analysis with an explicit filter configuration.
+    pub fn run_with(ds: &Dataset, filter_config: &FilterConfig) -> Self {
+        let filter = filter_events(&ds.ras, filter_config);
+        let prediction =
+            predict_and_evaluate(&ds.ras, &filter.incidents, &PredictorConfig::default());
+        Analysis {
+            totals: DatasetTotals::compute(&ds.jobs),
+            size_mix: size_mix(&ds.jobs),
+            per_user: per_user(&ds.jobs),
+            per_project: per_project(&ds.jobs),
+            class_breakdown: class_breakdown(&ds.jobs),
+            user_caused_share: user_caused_share(&ds.jobs),
+            rate_by_scale: by_scale(&ds.jobs),
+            rate_by_tasks: by_tasks(&ds.jobs),
+            rate_by_core_hours: by_core_hours(&ds.jobs),
+            rate_by_consumed_core_hours: by_consumed_core_hours(&ds.jobs),
+            class_fits: fit_by_class(&ds.jobs, MIN_FIT_SAMPLES),
+            ras: breakdown(&ds.ras, 10),
+            user_events: user_event_correlation(&ds.jobs, &ds.ras, Severity::Warn),
+            locality_boards: locality_map(&ds.ras, Severity::Fatal, Level::Board),
+            locality_racks: locality_map(&ds.ras, Severity::Fatal, Level::Rack),
+            interruptions: interruption_stats(&ds.jobs),
+            submissions_profile: TemporalProfile::compute(ds.jobs.iter().map(|j| j.queued_at)),
+            failures_profile: TemporalProfile::compute(
+                ds.jobs
+                    .iter()
+                    .filter(|j| j.exit_code != 0)
+                    .map(|j| j.ended_at),
+            ),
+            interval_fit: fit_interruption_intervals(&ds.jobs),
+            io: io_outcome_stats(&ds.jobs, &ds.io),
+            lifetime: lifetime_series(&ds.jobs, &ds.ras, 90),
+            prediction,
+            filter,
+            waits_by_size: waits_by_size(&ds.jobs),
+            waits_by_queue: waits_by_queue(&ds.jobs),
+            mean_utilization: mean_utilization(&ds.jobs, &bgq_model::Machine::MIRA),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_sim::{generate, SimConfig};
+
+    #[test]
+    fn facade_runs_on_a_small_dataset() {
+        let out = generate(&SimConfig::small(10).with_seed(5));
+        let a = Analysis::run(&out.dataset);
+        let totals = a.totals.as_ref().unwrap();
+        assert!(totals.jobs > 500);
+        assert!(a.user_caused_share.unwrap() > 0.9);
+        assert!(!a.size_mix.is_empty());
+        assert!(!a.per_user.is_empty());
+        assert!(a.filter.raw_fatal > 0);
+        assert!(a.filter.after_similarity <= a.filter.after_spatial);
+        assert!(a.submissions_profile.total() as usize == totals.jobs);
+    }
+
+    #[test]
+    fn facade_is_safe_on_empty_dataset() {
+        let a = Analysis::run(&Dataset::new());
+        assert!(a.totals.is_none());
+        assert!(a.size_mix.is_empty());
+        assert!(a.class_fits.is_empty());
+        assert_eq!(a.filter.raw_fatal, 0);
+        assert!(a.interval_fit.is_none());
+    }
+}

@@ -1,0 +1,229 @@
+//! Failure rate versus job structure (experiments E5, E6).
+//!
+//! The abstract: "The job failures are correlated with multiple metrics
+//! and attributes, such as users/projects and job execution structure
+//! (number of tasks, scale, and core-hours)." These functions bucket jobs
+//! by a structural attribute and report the per-bucket failure rate, plus
+//! a rank correlation between the attribute and failure.
+
+use bgq_model::JobRecord;
+use bgq_stats::correlation::spearman;
+
+/// One bucket of a failure-rate curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateBucket {
+    /// Human-readable bucket label (e.g. `"2048"` nodes or `"4-7"` tasks).
+    pub label: String,
+    /// Lower edge of the bucket (for ordering/plotting).
+    pub lo: f64,
+    /// Jobs in the bucket.
+    pub jobs: usize,
+    /// Failed jobs in the bucket.
+    pub failed: usize,
+}
+
+impl RateBucket {
+    /// Failure rate in the bucket (`0` when empty).
+    pub fn rate(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.failed as f64 / self.jobs as f64
+        }
+    }
+}
+
+/// A failure-rate curve with its attribute→failure rank correlation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateCurve {
+    /// Non-empty buckets in ascending attribute order.
+    pub buckets: Vec<RateBucket>,
+    /// Spearman correlation between the attribute value and the binary
+    /// failure indicator over the raw (unbucketed) jobs, if defined.
+    pub spearman_rho: Option<f64>,
+}
+
+fn curve(
+    jobs: &[JobRecord],
+    attribute: impl Fn(&JobRecord) -> f64,
+    bucket_of: impl Fn(f64) -> (String, f64),
+) -> RateCurve {
+    use std::collections::BTreeMap;
+    // Key buckets by the integer bits of their lower edge for ordering.
+    let mut map: BTreeMap<i64, RateBucket> = BTreeMap::new();
+    let mut xs = Vec::with_capacity(jobs.len());
+    let mut ys = Vec::with_capacity(jobs.len());
+    for j in jobs {
+        let x = attribute(j);
+        let (label, lo) = bucket_of(x);
+        let entry = map.entry(lo as i64).or_insert_with(|| RateBucket {
+            label,
+            lo,
+            jobs: 0,
+            failed: 0,
+        });
+        entry.jobs += 1;
+        entry.failed += usize::from(j.exit_code != 0);
+        xs.push(x);
+        ys.push(if j.exit_code != 0 { 1.0 } else { 0.0 });
+    }
+    RateCurve {
+        buckets: map.into_values().collect(),
+        spearman_rho: spearman(&xs, &ys),
+    }
+}
+
+/// Failure rate by job scale (nodes), one bucket per power-of-two size
+/// (experiment E5).
+pub fn by_scale(jobs: &[JobRecord]) -> RateCurve {
+    curve(
+        jobs,
+        |j| f64::from(j.nodes),
+        |x| (format!("{}", x as u64), x),
+    )
+}
+
+/// Failure rate by number of tasks: buckets 1, 2, 3, 4-7, 8+ (E6).
+pub fn by_tasks(jobs: &[JobRecord]) -> RateCurve {
+    curve(
+        jobs,
+        |j| f64::from(j.num_tasks),
+        |x| {
+            let t = x as u64;
+            match t {
+                0 | 1 => ("1".into(), 1.0),
+                2 => ("2".into(), 2.0),
+                3 => ("3".into(), 3.0),
+                4..=7 => ("4-7".into(), 4.0),
+                _ => ("8+".into(), 8.0),
+            }
+        },
+    )
+}
+
+/// Failure rate by *requested* core-hours (`nodes × cores × walltime`),
+/// in decade buckets (E6). The request is an a-priori attribute, so the
+/// curve shows the paper's positive correlation cleanly.
+pub fn by_core_hours(jobs: &[JobRecord]) -> RateCurve {
+    curve(
+        jobs,
+        |j| {
+            (f64::from(j.nodes) * 16.0 * f64::from(j.requested_walltime_s) / 3_600.0).max(1.0)
+        },
+        |x| {
+            let decade = x.log10().floor() as i32;
+            (format!("1e{decade}"), f64::from(decade))
+        },
+    )
+}
+
+/// Failure rate by *consumed* core-hours, in decade buckets.
+///
+/// This curve **decreases**: failures terminate jobs early, so failed jobs
+/// consume few core-hours — a survivorship artifact worth showing next to
+/// [`by_core_hours`] because naively correlating failure with consumption
+/// inverts the paper's finding.
+pub fn by_consumed_core_hours(jobs: &[JobRecord]) -> RateCurve {
+    curve(
+        jobs,
+        |j| j.core_hours().max(1.0),
+        |x| {
+            let decade = x.log10().floor() as i32;
+            (format!("1e{decade}"), f64::from(decade))
+        },
+    )
+}
+
+/// Failure rate by requested wall time, in hour buckets.
+pub fn by_walltime(jobs: &[JobRecord]) -> RateCurve {
+    curve(
+        jobs,
+        |j| f64::from(j.requested_walltime_s) / 3600.0,
+        |x| {
+            let h = x.ceil().max(1.0);
+            (format!("{h}h"), h)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_model::ids::{JobId, ProjectId, UserId};
+    use bgq_model::job::{Mode, Queue};
+    use bgq_model::{Block, Timestamp};
+
+    fn job(nodes: u32, tasks: u32, exit: i32) -> JobRecord {
+        JobRecord {
+            job_id: JobId::new(1),
+            user: UserId::new(1),
+            project: ProjectId::new(1),
+            queue: Queue::Production,
+            nodes,
+            mode: Mode::default(),
+            requested_walltime_s: 3600,
+            queued_at: Timestamp::from_secs(0),
+            started_at: Timestamp::from_secs(0),
+            ended_at: Timestamp::from_secs(3600),
+            block: Block::new(0, (nodes / 512).max(1) as u16).unwrap(),
+            exit_code: exit,
+            num_tasks: tasks,
+        }
+    }
+
+    #[test]
+    fn scale_curve_buckets_by_size() {
+        let jobs = vec![
+            job(512, 1, 0),
+            job(512, 1, 1),
+            job(2048, 1, 1),
+            job(2048, 1, 1),
+        ];
+        let c = by_scale(&jobs);
+        assert_eq!(c.buckets.len(), 2);
+        assert_eq!(c.buckets[0].label, "512");
+        assert!((c.buckets[0].rate() - 0.5).abs() < 1e-12);
+        assert!((c.buckets[1].rate() - 1.0).abs() < 1e-12);
+        assert!(c.spearman_rho.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn task_buckets_cover_ranges() {
+        let jobs = vec![
+            job(512, 1, 0),
+            job(512, 2, 0),
+            job(512, 3, 1),
+            job(512, 5, 1),
+            job(512, 12, 1),
+        ];
+        let c = by_tasks(&jobs);
+        let labels: Vec<&str> = c.buckets.iter().map(|b| b.label.as_str()).collect();
+        assert_eq!(labels, vec!["1", "2", "3", "4-7", "8+"]);
+        // Increasing failure with tasks here.
+        assert!(c.spearman_rho.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn core_hour_buckets_are_decades() {
+        let jobs = vec![job(512, 1, 0), job(49152, 1, 1)];
+        let c = by_core_hours(&jobs);
+        assert_eq!(c.buckets.len(), 2);
+        assert!(c.buckets[0].label.starts_with("1e"));
+    }
+
+    #[test]
+    fn empty_input_is_harmless() {
+        let c = by_scale(&[]);
+        assert!(c.buckets.is_empty());
+        assert!(c.spearman_rho.is_none());
+    }
+
+    #[test]
+    fn constant_attribute_has_no_correlation() {
+        let jobs = vec![job(512, 1, 0), job(512, 1, 1)];
+        let c = by_scale(&jobs);
+        assert!(c.spearman_rho.is_none());
+        assert_eq!(c.buckets.len(), 1);
+        assert!((c.buckets[0].rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,121 @@
+//! I/O behavior versus job outcome (the fourth log source's analysis).
+
+use std::collections::HashMap;
+
+use bgq_model::ids::JobId;
+use bgq_model::{IoRecord, JobRecord};
+use bgq_stats::summary::Summary;
+
+/// Joined I/O statistics, split by job outcome.
+#[derive(Debug, Clone)]
+pub struct IoOutcomeStats {
+    /// Jobs with an I/O profile.
+    pub covered_jobs: usize,
+    /// I/O coverage of the job log.
+    pub coverage: f64,
+    /// Bytes-moved summary for successful jobs.
+    pub bytes_success: Option<Summary>,
+    /// Bytes-moved summary for failed jobs.
+    pub bytes_failed: Option<Summary>,
+    /// Write-ratio summary across covered jobs.
+    pub write_ratio: Option<Summary>,
+    /// Mean I/O-time fraction of runtime, across covered jobs.
+    pub mean_io_fraction: Option<f64>,
+}
+
+/// Joins the I/O log to the job log and summarizes by outcome.
+pub fn io_outcome_stats(jobs: &[JobRecord], io: &[IoRecord]) -> IoOutcomeStats {
+    let by_id: HashMap<JobId, &JobRecord> = jobs.iter().map(|j| (j.job_id, j)).collect();
+    let mut bytes_ok = Vec::new();
+    let mut bytes_bad = Vec::new();
+    let mut ratios = Vec::new();
+    let mut fractions = Vec::new();
+    let mut covered = 0usize;
+    for rec in io {
+        let Some(job) = by_id.get(&rec.job_id) else {
+            continue;
+        };
+        covered += 1;
+        if job.exit_code == 0 {
+            bytes_ok.push(rec.bytes_total() as f64);
+        } else {
+            bytes_bad.push(rec.bytes_total() as f64);
+        }
+        ratios.push(rec.write_ratio());
+        let runtime = job.runtime().as_secs().max(1) as f64;
+        fractions.push((rec.io_time_s / runtime).min(1.0));
+    }
+    IoOutcomeStats {
+        covered_jobs: covered,
+        coverage: if jobs.is_empty() {
+            0.0
+        } else {
+            covered as f64 / jobs.len() as f64
+        },
+        bytes_success: Summary::from_slice(&bytes_ok),
+        bytes_failed: Summary::from_slice(&bytes_bad),
+        write_ratio: Summary::from_slice(&ratios),
+        mean_io_fraction: if fractions.is_empty() {
+            None
+        } else {
+            Some(fractions.iter().sum::<f64>() / fractions.len() as f64)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_model::ids::{ProjectId, UserId};
+    use bgq_model::job::{Mode, Queue};
+    use bgq_model::{Block, Timestamp};
+
+    fn job(id: u64, exit: i32) -> JobRecord {
+        JobRecord {
+            job_id: JobId::new(id),
+            user: UserId::new(1),
+            project: ProjectId::new(1),
+            queue: Queue::Production,
+            nodes: 512,
+            mode: Mode::default(),
+            requested_walltime_s: 3600,
+            queued_at: Timestamp::from_secs(0),
+            started_at: Timestamp::from_secs(0),
+            ended_at: Timestamp::from_secs(1000),
+            block: Block::new(0, 1).unwrap(),
+            exit_code: exit,
+            num_tasks: 1,
+        }
+    }
+
+    fn io(id: u64, bytes: u64) -> IoRecord {
+        IoRecord {
+            job_id: JobId::new(id),
+            bytes_read: bytes / 2,
+            bytes_written: bytes / 2,
+            files_read: 1,
+            files_written: 1,
+            io_time_s: 100.0,
+        }
+    }
+
+    #[test]
+    fn joins_and_splits_by_outcome() {
+        let jobs = vec![job(1, 0), job(2, 139), job(3, 0)];
+        let recs = vec![io(1, 1000), io(2, 2000), io(99, 1)]; // 99: orphan
+        let s = io_outcome_stats(&jobs, &recs);
+        assert_eq!(s.covered_jobs, 2);
+        assert!((s.coverage - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.bytes_success.as_ref().unwrap().n(), 1);
+        assert_eq!(s.bytes_failed.as_ref().unwrap().n(), 1);
+        assert!((s.mean_io_fraction.unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = io_outcome_stats(&[], &[]);
+        assert_eq!(s.covered_jobs, 0);
+        assert!(s.bytes_success.is_none());
+        assert!(s.mean_io_fraction.is_none());
+    }
+}

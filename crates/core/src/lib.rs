@@ -1,0 +1,57 @@
+//! The Mira failure-mining toolkit — the primary contribution of the
+//! DSN 2019 reproduction.
+//!
+//! Given the four Mira log sources (job scheduling, RAS, tasks, I/O — see
+//! [`bgq_logs::store::Dataset`]), this crate computes every analysis of
+//! the paper:
+//!
+//! * [`exitcode`] — the exit-code taxonomy and user/system attribution;
+//! * [`jobstats`] — workload totals, size mix, concentration, temporal
+//!   profiles;
+//! * [`failure_rates`] — failure rate vs. scale / tasks / core-hours;
+//! * [`fitting`] — per-exit-class execution-length distribution fitting;
+//! * [`ras_analysis`] — RAS breakdowns and user/core-hour correlation;
+//! * [`locality`] — spatial concentration of fatal events;
+//! * [`filtering`] — the 3-stage similarity-based event filter, MTBF, and
+//!   the mean-time-to-interruption headline;
+//! * [`io_analysis`] — I/O behavior by job outcome;
+//! * [`lifetime`] — reliability evolution over the system's life;
+//! * [`prediction`] — precursor-based fatal-incident prediction;
+//! * [`queueing`] — queue waits and machine utilization;
+//! * [`mod@takeaways`] — the paper's 22 takeaways, re-derived from data;
+//! * [`analysis`] — the [`analysis::Analysis`] facade running everything;
+//! * [`report`] — plain-text tables for the experiment harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use bgq_core::analysis::Analysis;
+//! use bgq_core::takeaways::takeaways;
+//! use bgq_sim::{generate, SimConfig};
+//!
+//! let out = generate(&SimConfig::small(5).with_seed(1));
+//! let analysis = Analysis::run(&out.dataset);
+//! for t in takeaways(&analysis).iter().take(3) {
+//!     println!("[T{}] {}", t.id, t.statement);
+//! }
+//! ```
+
+pub mod analysis;
+pub mod exitcode;
+pub mod failure_rates;
+pub mod filtering;
+pub mod fitting;
+pub mod io_analysis;
+pub mod jobstats;
+pub mod lifetime;
+pub mod locality;
+pub mod prediction;
+pub mod queueing;
+pub mod ras_analysis;
+pub mod report;
+pub mod takeaways;
+
+pub use analysis::Analysis;
+pub use exitcode::{Attribution, ExitClass};
+pub use filtering::{FilterConfig, FilterOutcome};
+pub use takeaways::{takeaways, Takeaway};

@@ -1,0 +1,303 @@
+//! A small RFC 4180 CSV codec.
+//!
+//! The four Mira logs are persisted as CSV; RAS messages contain commas and
+//! occasionally quotes, so the codec implements proper quoting: fields
+//! containing `,`, `"`, `\r`, or `\n` are quoted, embedded quotes are
+//! doubled, and the reader accepts embedded newlines inside quoted fields.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error produced while reading CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the CSV text.
+    Malformed {
+        /// 1-based line where the record started.
+        line: usize,
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "csv i/o error: {e}"),
+            CsvError::Malformed { line, reason } => {
+                write!(f, "malformed csv at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            CsvError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Writes one CSV record (fields are quoted only when needed).
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_record<W: Write, S: AsRef<str>>(w: &mut W, fields: &[S]) -> Result<(), CsvError> {
+    for (i, field) in fields.iter().enumerate() {
+        if i > 0 {
+            w.write_all(b",")?;
+        }
+        let f = field.as_ref();
+        if f.contains([',', '"', '\n', '\r']) {
+            w.write_all(b"\"")?;
+            w.write_all(f.replace('"', "\"\"").as_bytes())?;
+            w.write_all(b"\"")?;
+        } else {
+            w.write_all(f.as_bytes())?;
+        }
+    }
+    w.write_all(b"\n")?;
+    Ok(())
+}
+
+/// A streaming CSV reader over any [`BufRead`].
+#[derive(Debug)]
+pub struct CsvReader<R> {
+    inner: R,
+    line: usize,
+}
+
+impl<R: BufRead> CsvReader<R> {
+    /// Wraps a buffered reader.
+    pub fn new(inner: R) -> Self {
+        CsvReader { inner, line: 0 }
+    }
+
+    /// Reads the next record; `Ok(None)` at end of input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvError::Malformed`] on an unterminated quote and
+    /// [`CsvError::Io`] on read failures.
+    pub fn read_record(&mut self) -> Result<Option<Vec<String>>, CsvError> {
+        let mut raw = String::new();
+        let start_line = self.line + 1;
+        loop {
+            let before = raw.len();
+            let n = self.inner.read_line(&mut raw)?;
+            if n == 0 {
+                if raw.is_empty() {
+                    return Ok(None);
+                }
+                // EOF without trailing newline: fall through and parse.
+                if !count_unescaped_quotes(&raw).is_multiple_of(2) {
+                    return Err(CsvError::Malformed {
+                        line: start_line,
+                        reason: "unterminated quoted field at end of input",
+                    });
+                }
+                break;
+            }
+            self.line += 1;
+            let _ = before;
+            // A record is complete when quotes balance.
+            if count_unescaped_quotes(&raw).is_multiple_of(2) {
+                break;
+            }
+        }
+        // Strip the record terminator.
+        while raw.ends_with('\n') || raw.ends_with('\r') {
+            raw.pop();
+        }
+        if raw.is_empty() {
+            // Blank line: skip it (recurse once; blank runs are short).
+            return self.read_record();
+        }
+        parse_line(&raw, start_line).map(Some)
+    }
+
+    /// Reads every remaining record.
+    ///
+    /// # Errors
+    ///
+    /// See [`CsvReader::read_record`].
+    pub fn read_all(&mut self) -> Result<Vec<Vec<String>>, CsvError> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.read_record()? {
+            out.push(rec);
+        }
+        Ok(out)
+    }
+}
+
+fn count_unescaped_quotes(s: &str) -> usize {
+    s.bytes().filter(|&b| b == b'"').count()
+}
+
+fn parse_line(raw: &str, line: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = raw.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(std::mem::take(&mut field));
+                return Ok(fields);
+            }
+            Some('"') => {
+                chars.next();
+                // Quoted field: read until the closing quote.
+                loop {
+                    match chars.next() {
+                        None => {
+                            return Err(CsvError::Malformed {
+                                line,
+                                reason: "unterminated quoted field",
+                            })
+                        }
+                        Some('"') => {
+                            if chars.peek() == Some(&'"') {
+                                chars.next();
+                                field.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => field.push(c),
+                    }
+                }
+                match chars.next() {
+                    None => {
+                        fields.push(std::mem::take(&mut field));
+                        return Ok(fields);
+                    }
+                    Some(',') => fields.push(std::mem::take(&mut field)),
+                    Some(_) => {
+                        return Err(CsvError::Malformed {
+                            line,
+                            reason: "garbage after closing quote",
+                        })
+                    }
+                }
+            }
+            Some(_) => {
+                // Unquoted field: read until comma or end.
+                loop {
+                    match chars.peek() {
+                        None => {
+                            fields.push(std::mem::take(&mut field));
+                            return Ok(fields);
+                        }
+                        Some(',') => {
+                            chars.next();
+                            fields.push(std::mem::take(&mut field));
+                            break;
+                        }
+                        Some(&c) => {
+                            chars.next();
+                            field.push(c);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip(fields: &[&str]) -> Vec<String> {
+        let mut buf = Vec::new();
+        write_record(&mut buf, fields).unwrap();
+        let mut reader = CsvReader::new(BufReader::new(&buf[..]));
+        let rec = reader.read_record().unwrap().unwrap();
+        assert!(reader.read_record().unwrap().is_none());
+        rec
+    }
+
+    #[test]
+    fn plain_fields() {
+        assert_eq!(roundtrip(&["a", "b", "c"]), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fields_with_commas_and_quotes() {
+        assert_eq!(
+            roundtrip(&["hello, world", "say \"hi\"", ""]),
+            vec!["hello, world", "say \"hi\"", ""]
+        );
+    }
+
+    #[test]
+    fn embedded_newlines() {
+        assert_eq!(
+            roundtrip(&["line1\nline2", "x"]),
+            vec!["line1\nline2", "x"]
+        );
+    }
+
+    #[test]
+    fn multiple_records_and_blank_lines() {
+        let text = "a,b\n\nc,d\n";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        assert_eq!(reader.read_record().unwrap().unwrap(), vec!["a", "b"]);
+        assert_eq!(reader.read_record().unwrap().unwrap(), vec!["c", "d"]);
+        assert!(reader.read_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let text = "a,b";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        assert_eq!(reader.read_record().unwrap().unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let text = "\"abc\n";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        assert!(matches!(
+            reader.read_record(),
+            Err(CsvError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_after_quote_is_an_error() {
+        let text = "\"abc\"x,y\n";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        assert!(matches!(
+            reader.read_record(),
+            Err(CsvError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let text = "a,b\r\nc,d\r\n";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        assert_eq!(reader.read_record().unwrap().unwrap(), vec!["a", "b"]);
+        assert_eq!(reader.read_record().unwrap().unwrap(), vec!["c", "d"]);
+    }
+
+    #[test]
+    fn read_all_collects_everything() {
+        let text = "1,2\n3,4\n5,6\n";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        assert_eq!(reader.read_all().unwrap().len(), 3);
+    }
+}

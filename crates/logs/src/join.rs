@@ -1,0 +1,233 @@
+//! The temporal–spatial join between RAS events and jobs.
+//!
+//! An event *affects* a job when it occurs while the job is executing
+//! (start-inclusive, end-exclusive) **and** its hardware location lies
+//! inside the job's block. This join is the backbone of the paper's
+//! "impact of system events on job execution" analysis; attributing an
+//! event wrongly (purely by time, or purely by place) badly over-counts
+//! impact, which is why both predicates are required.
+
+use bgq_model::{JobRecord, RasRecord, Severity, Span};
+
+use crate::interval::IntervalIndex;
+
+/// One attributed event: indices into the input slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attribution {
+    /// Index of the event in the RAS slice passed to [`attribute_events`].
+    pub event_idx: usize,
+    /// Index of the affected job in the jobs slice.
+    pub job_idx: usize,
+}
+
+/// Result of joining a RAS log against a job log.
+#[derive(Debug, Clone, Default)]
+pub struct JoinResult {
+    /// All `(event, job)` attribution pairs, ordered by event index.
+    pub pairs: Vec<Attribution>,
+}
+
+impl JoinResult {
+    /// Jobs affected by at least one event, as sorted deduplicated indices.
+    pub fn affected_jobs(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.pairs.iter().map(|a| a.job_idx).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Events that hit at least one job, as sorted deduplicated indices.
+    pub fn effective_events(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.pairs.iter().map(|a| a.event_idx).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Number of attribution pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `true` if no event hit any job.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Joins `events` to `jobs`: an event is attributed to every job whose
+/// execution window contains the event time and whose block contains the
+/// event location.
+///
+/// `min_severity` filters events before the join (the paper's impact
+/// analysis uses FATAL; pass [`Severity::Info`] to keep everything).
+pub fn attribute_events(
+    jobs: &[JobRecord],
+    events: &[RasRecord],
+    min_severity: Severity,
+) -> JoinResult {
+    let index = IntervalIndex::build(
+        jobs.iter().map(|j| (j.started_at, j.ended_at)).collect(),
+        Span::from_hours(6),
+    );
+    let mut pairs = Vec::new();
+    for (event_idx, ev) in events.iter().enumerate() {
+        if ev.severity < min_severity {
+            continue;
+        }
+        for job_idx in index.stab(ev.event_time) {
+            if jobs[job_idx].block.contains(&ev.location) {
+                pairs.push(Attribution { event_idx, job_idx });
+            }
+        }
+    }
+    JoinResult { pairs }
+}
+
+/// Reference implementation of [`attribute_events`]: quadratic scan.
+/// Exposed for the ablation bench and differential tests.
+pub fn attribute_events_brute(
+    jobs: &[JobRecord],
+    events: &[RasRecord],
+    min_severity: Severity,
+) -> JoinResult {
+    let mut pairs = Vec::new();
+    for (event_idx, ev) in events.iter().enumerate() {
+        if ev.severity < min_severity {
+            continue;
+        }
+        for (job_idx, job) in jobs.iter().enumerate() {
+            if job.started_at <= ev.event_time
+                && ev.event_time < job.ended_at
+                && job.block.contains(&ev.location)
+            {
+                pairs.push(Attribution { event_idx, job_idx });
+            }
+        }
+    }
+    JoinResult { pairs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_model::ids::{JobId, ProjectId, RecId, UserId};
+    use bgq_model::job::{Mode, Queue};
+    use bgq_model::ras::{Category, Component, MsgId};
+    use bgq_model::{Block, Location, Timestamp};
+
+    fn job(id: u64, start: i64, end: i64, block: Block) -> JobRecord {
+        JobRecord {
+            job_id: JobId::new(id),
+            user: UserId::new(1),
+            project: ProjectId::new(1),
+            queue: Queue::Production,
+            nodes: block.nodes(),
+            mode: Mode::default(),
+            requested_walltime_s: 3600,
+            queued_at: Timestamp::from_secs(start - 10),
+            started_at: Timestamp::from_secs(start),
+            ended_at: Timestamp::from_secs(end),
+            block,
+            exit_code: 0,
+            num_tasks: 1,
+        }
+    }
+
+    fn event(id: u64, t: i64, loc: &str, severity: Severity) -> RasRecord {
+        RasRecord {
+            rec_id: RecId::new(id),
+            msg_id: MsgId::new(1),
+            severity,
+            category: Category::Ddr,
+            component: Component::Mc,
+            event_time: Timestamp::from_secs(t),
+            location: loc.parse::<Location>().unwrap(),
+            message: String::new(),
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn requires_both_time_and_place() {
+        let jobs = vec![
+            job(1, 100, 200, Block::new(0, 2).unwrap()),  // R00
+            job(2, 100, 200, Block::new(10, 2).unwrap()), // R05
+        ];
+        let events = vec![
+            event(1, 150, "R00-M0-N03", Severity::Fatal), // hits job 1 only
+            event(2, 250, "R00-M0", Severity::Fatal),     // right place, too late
+            event(3, 150, "R20-M0", Severity::Fatal),     // right time, wrong place
+        ];
+        let join = attribute_events(&jobs, &events, Severity::Fatal);
+        assert_eq!(join.pairs, vec![Attribution { event_idx: 0, job_idx: 0 }]);
+        assert_eq!(join.affected_jobs(), vec![0]);
+        assert_eq!(join.effective_events(), vec![0]);
+    }
+
+    #[test]
+    fn severity_filter() {
+        let jobs = vec![job(1, 0, 100, Block::new(0, 1).unwrap())];
+        let events = vec![
+            event(1, 50, "R00-M0", Severity::Info),
+            event(2, 50, "R00-M0", Severity::Warn),
+            event(3, 50, "R00-M0", Severity::Fatal),
+        ];
+        assert_eq!(attribute_events(&jobs, &events, Severity::Fatal).len(), 1);
+        assert_eq!(attribute_events(&jobs, &events, Severity::Warn).len(), 2);
+        assert_eq!(attribute_events(&jobs, &events, Severity::Info).len(), 3);
+    }
+
+    #[test]
+    fn one_event_can_hit_many_jobs() {
+        // A rack-level coolant event hits both jobs with midplanes in R00.
+        let jobs = vec![
+            job(1, 0, 100, Block::new(0, 1).unwrap()),
+            job(2, 0, 100, Block::new(1, 1).unwrap()),
+        ];
+        let events = vec![event(1, 10, "R00", Severity::Fatal)];
+        let join = attribute_events(&jobs, &events, Severity::Fatal);
+        assert_eq!(join.len(), 2);
+        assert_eq!(join.affected_jobs(), vec![0, 1]);
+    }
+
+    #[test]
+    fn indexed_join_matches_brute_force() {
+        let mut jobs = Vec::new();
+        let mut events = Vec::new();
+        // Deterministic pseudo-random layout.
+        let mut state = 99u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as i64
+        };
+        for i in 0..120 {
+            let start = next() % 50_000;
+            let len = 100 + next() % 20_000;
+            let first = (next() % 90) as u16;
+            let mids = 1 + (next() % 6) as u16;
+            let block = Block::new(first, mids.min(96 - first)).unwrap();
+            jobs.push(job(i, start, start + len, block));
+        }
+        for i in 0..300 {
+            let t = next() % 75_000;
+            let rack = (next() % 48) as u8;
+            let sev = match next() % 3 {
+                0 => Severity::Info,
+                1 => Severity::Warn,
+                _ => Severity::Fatal,
+            };
+            let loc = format!("R{}{:X}-M{}", rack / 16, rack % 16, next() % 2);
+            events.push(event(i, t, &loc, sev));
+        }
+        for sev in Severity::ALL {
+            let fast = attribute_events(&jobs, &events, sev);
+            let brute = attribute_events_brute(&jobs, &events, sev);
+            let mut f = fast.pairs.clone();
+            let mut b = brute.pairs.clone();
+            f.sort_by_key(|a| (a.event_idx, a.job_idx));
+            b.sort_by_key(|a| (a.event_idx, a.job_idx));
+            assert_eq!(f, b, "severity {sev}");
+        }
+    }
+}

@@ -1,0 +1,396 @@
+//! CSV field layouts for the four log record types.
+//!
+//! Each record maps to a flat row of strings; timestamps are stored as
+//! epoch seconds for compactness (the [`bgq_model::time::Timestamp`] parser
+//! accepts both forms).
+
+use std::fmt;
+
+use bgq_model::{Block, IoRecord, JobRecord, RasRecord, TaskRecord};
+
+/// Error produced when decoding a CSV row into a record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// Which log the row belonged to.
+    pub table: &'static str,
+    /// The field (by header name) that failed to decode.
+    pub field: &'static str,
+    /// The offending raw value, if the field was present.
+    pub value: Option<String>,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.value {
+            Some(v) => write!(f, "{}: bad {} value {:?}", self.table, self.field, v),
+            None => write!(f, "{}: missing field {}", self.table, self.field),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A log table that can round-trip through CSV rows.
+pub trait Record: Sized {
+    /// Stable table name (also the file stem on disk).
+    const TABLE: &'static str;
+    /// Column headers, in encode order.
+    const HEADER: &'static [&'static str];
+
+    /// Encodes to one CSV row (same order as [`Record::HEADER`]).
+    fn encode(&self) -> Vec<String>;
+
+    /// Decodes from one CSV row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] naming the first offending field.
+    fn decode(row: &[String]) -> Result<Self, SchemaError>;
+}
+
+struct Row<'a> {
+    table: &'static str,
+    header: &'static [&'static str],
+    fields: &'a [String],
+}
+
+impl<'a> Row<'a> {
+    fn get(&self, name: &'static str) -> Result<&'a str, SchemaError> {
+        let idx = self
+            .header
+            .iter()
+            .position(|h| *h == name)
+            .unwrap_or(usize::MAX);
+        self.fields.get(idx).map(String::as_str).ok_or(SchemaError {
+            table: self.table,
+            field: name,
+            value: None,
+        })
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &'static str) -> Result<T, SchemaError> {
+        let raw = self.get(name)?;
+        raw.parse().map_err(|_| SchemaError {
+            table: self.table,
+            field: name,
+            value: Some(raw.to_owned()),
+        })
+    }
+}
+
+impl Record for JobRecord {
+    const TABLE: &'static str = "jobs";
+    const HEADER: &'static [&'static str] = &[
+        "job_id",
+        "user",
+        "project",
+        "queue",
+        "nodes",
+        "mode",
+        "requested_walltime_s",
+        "queued_at",
+        "started_at",
+        "ended_at",
+        "block",
+        "exit_code",
+        "num_tasks",
+    ];
+
+    fn encode(&self) -> Vec<String> {
+        vec![
+            self.job_id.raw().to_string(),
+            self.user.raw().to_string(),
+            self.project.raw().to_string(),
+            self.queue.to_string(),
+            self.nodes.to_string(),
+            self.mode.to_string(),
+            self.requested_walltime_s.to_string(),
+            self.queued_at.as_secs().to_string(),
+            self.started_at.as_secs().to_string(),
+            self.ended_at.as_secs().to_string(),
+            self.block.to_string(),
+            self.exit_code.to_string(),
+            self.num_tasks.to_string(),
+        ]
+    }
+
+    fn decode(row: &[String]) -> Result<Self, SchemaError> {
+        let r = Row {
+            table: Self::TABLE,
+            header: Self::HEADER,
+            fields: row,
+        };
+        Ok(JobRecord {
+            job_id: r.parse("job_id")?,
+            user: r.parse("user")?,
+            project: r.parse("project")?,
+            queue: r.parse("queue")?,
+            nodes: r.parse("nodes")?,
+            mode: r.parse("mode")?,
+            requested_walltime_s: r.parse("requested_walltime_s")?,
+            queued_at: r.parse("queued_at")?,
+            started_at: r.parse("started_at")?,
+            ended_at: r.parse("ended_at")?,
+            block: r.parse::<Block>("block")?,
+            exit_code: r.parse("exit_code")?,
+            num_tasks: r.parse("num_tasks")?,
+        })
+    }
+}
+
+impl Record for RasRecord {
+    const TABLE: &'static str = "ras";
+    const HEADER: &'static [&'static str] = &[
+        "rec_id",
+        "msg_id",
+        "severity",
+        "category",
+        "component",
+        "event_time",
+        "location",
+        "count",
+        "message",
+    ];
+
+    fn encode(&self) -> Vec<String> {
+        vec![
+            self.rec_id.raw().to_string(),
+            self.msg_id.to_string(),
+            self.severity.to_string(),
+            self.category.to_string(),
+            self.component.to_string(),
+            self.event_time.as_secs().to_string(),
+            self.location.to_string(),
+            self.count.to_string(),
+            self.message.clone(),
+        ]
+    }
+
+    fn decode(row: &[String]) -> Result<Self, SchemaError> {
+        let r = Row {
+            table: Self::TABLE,
+            header: Self::HEADER,
+            fields: row,
+        };
+        Ok(RasRecord {
+            rec_id: r.parse("rec_id")?,
+            msg_id: r.parse("msg_id")?,
+            severity: r.parse("severity")?,
+            category: r.parse("category")?,
+            component: r.parse("component")?,
+            event_time: r.parse("event_time")?,
+            location: r.parse("location")?,
+            count: r.parse("count")?,
+            message: r.get("message")?.to_owned(),
+        })
+    }
+}
+
+impl Record for TaskRecord {
+    const TABLE: &'static str = "tasks";
+    const HEADER: &'static [&'static str] = &[
+        "task_id", "job_id", "seq", "block", "started_at", "ended_at", "ranks", "exit_code",
+    ];
+
+    fn encode(&self) -> Vec<String> {
+        vec![
+            self.task_id.raw().to_string(),
+            self.job_id.raw().to_string(),
+            self.seq.to_string(),
+            self.block.to_string(),
+            self.started_at.as_secs().to_string(),
+            self.ended_at.as_secs().to_string(),
+            self.ranks.to_string(),
+            self.exit_code.to_string(),
+        ]
+    }
+
+    fn decode(row: &[String]) -> Result<Self, SchemaError> {
+        let r = Row {
+            table: Self::TABLE,
+            header: Self::HEADER,
+            fields: row,
+        };
+        Ok(TaskRecord {
+            task_id: r.parse("task_id")?,
+            job_id: r.parse("job_id")?,
+            seq: r.parse("seq")?,
+            block: r.parse("block")?,
+            started_at: r.parse("started_at")?,
+            ended_at: r.parse("ended_at")?,
+            ranks: r.parse("ranks")?,
+            exit_code: r.parse("exit_code")?,
+        })
+    }
+}
+
+impl Record for IoRecord {
+    const TABLE: &'static str = "io";
+    const HEADER: &'static [&'static str] = &[
+        "job_id",
+        "bytes_read",
+        "bytes_written",
+        "files_read",
+        "files_written",
+        "io_time_s",
+    ];
+
+    fn encode(&self) -> Vec<String> {
+        vec![
+            self.job_id.raw().to_string(),
+            self.bytes_read.to_string(),
+            self.bytes_written.to_string(),
+            self.files_read.to_string(),
+            self.files_written.to_string(),
+            // f64::to_string round-trips exactly (shortest representation).
+            self.io_time_s.to_string(),
+        ]
+    }
+
+    fn decode(row: &[String]) -> Result<Self, SchemaError> {
+        let r = Row {
+            table: Self::TABLE,
+            header: Self::HEADER,
+            fields: row,
+        };
+        Ok(IoRecord {
+            job_id: r.parse("job_id")?,
+            bytes_read: r.parse("bytes_read")?,
+            bytes_written: r.parse("bytes_written")?,
+            files_read: r.parse("files_read")?,
+            files_written: r.parse("files_written")?,
+            io_time_s: r.parse("io_time_s")?,
+        })
+    }
+}
+
+/// Convenience: decodes a whole table, validating the header row.
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] on a header mismatch or any undecodable row.
+pub fn decode_table<R: Record>(rows: &[Vec<String>]) -> Result<Vec<R>, SchemaError> {
+    let mut iter = rows.iter();
+    match iter.next() {
+        Some(header) if header == R::HEADER => {}
+        _ => {
+            return Err(SchemaError {
+                table: R::TABLE,
+                field: "header",
+                value: rows.first().map(|h| h.join(",")),
+            })
+        }
+    }
+    iter.map(|row| R::decode(row)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_model::ids::{JobId, ProjectId, RecId, TaskId, UserId};
+    use bgq_model::job::{Mode, Queue};
+    use bgq_model::ras::{Category, Component, MsgId, Severity};
+    use bgq_model::{Location, Timestamp};
+
+    fn sample_job() -> JobRecord {
+        JobRecord {
+            job_id: JobId::new(42),
+            user: UserId::new(7),
+            project: ProjectId::new(3),
+            queue: Queue::Capability,
+            nodes: 8192,
+            mode: Mode::new(32).unwrap(),
+            requested_walltime_s: 21_600,
+            queued_at: Timestamp::from_secs(1_400_000_000),
+            started_at: Timestamp::from_secs(1_400_003_600),
+            ended_at: Timestamp::from_secs(1_400_010_000),
+            block: Block::new(16, 16).unwrap(),
+            exit_code: 139,
+            num_tasks: 3,
+        }
+    }
+
+    fn sample_ras() -> RasRecord {
+        RasRecord {
+            rec_id: RecId::new(9),
+            msg_id: MsgId::new(0x0008_0015),
+            severity: Severity::Fatal,
+            category: Category::Ddr,
+            component: Component::Mc,
+            event_time: Timestamp::from_secs(1_400_000_123),
+            location: "R11-M1-N07-J12".parse::<Location>().unwrap(),
+            message: "DDR correctable error threshold exceeded, rank=3, \"bank 2\"".to_owned(),
+            count: 4,
+        }
+    }
+
+    #[test]
+    fn job_roundtrip() {
+        let j = sample_job();
+        assert_eq!(JobRecord::decode(&j.encode()).unwrap(), j);
+    }
+
+    #[test]
+    fn ras_roundtrip_with_tricky_message() {
+        let r = sample_ras();
+        assert_eq!(RasRecord::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn task_roundtrip() {
+        let t = TaskRecord {
+            task_id: TaskId::new(1),
+            job_id: JobId::new(42),
+            seq: 0,
+            block: Block::new(0, 1).unwrap(),
+            started_at: Timestamp::from_secs(100),
+            ended_at: Timestamp::from_secs(200),
+            ranks: 512,
+            exit_code: 0,
+        };
+        assert_eq!(TaskRecord::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn io_roundtrip() {
+        let r = IoRecord {
+            job_id: JobId::new(42),
+            bytes_read: 1 << 40,
+            bytes_written: 123,
+            files_read: 9,
+            files_written: 2,
+            io_time_s: 55.125,
+        };
+        assert_eq!(IoRecord::decode(&r.encode()).unwrap(), r);
+    }
+
+    #[test]
+    fn decode_reports_field_and_value() {
+        let mut row = sample_job().encode();
+        row[4] = "not-a-number".to_owned();
+        let err = JobRecord::decode(&row).unwrap_err();
+        assert_eq!(err.field, "nodes");
+        assert_eq!(err.value.as_deref(), Some("not-a-number"));
+        assert!(err.to_string().contains("jobs"));
+    }
+
+    #[test]
+    fn decode_reports_missing_fields() {
+        let short = vec!["1".to_owned()];
+        let err = JobRecord::decode(&short).unwrap_err();
+        assert!(err.value.is_none());
+    }
+
+    #[test]
+    fn decode_table_checks_header() {
+        let j = sample_job();
+        let rows = vec![
+            JobRecord::HEADER.iter().map(|s| s.to_string()).collect(),
+            j.encode(),
+        ];
+        assert_eq!(decode_table::<JobRecord>(&rows).unwrap(), vec![j]);
+
+        let bad = vec![vec!["nope".to_owned()]];
+        assert!(decode_table::<JobRecord>(&bad).is_err());
+    }
+}

@@ -1,0 +1,250 @@
+//! The on-disk dataset: four CSV tables in one directory.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+
+use bgq_model::{IoRecord, JobRecord, RasRecord, TaskRecord};
+
+use crate::csv::{write_record, CsvError, CsvReader};
+use crate::schema::{decode_table, Record, SchemaError};
+
+/// An in-memory Mira dataset: the four joined log sources.
+///
+/// Invariants maintained by [`Dataset::normalize`]: jobs sorted by start
+/// time, RAS events by event time, tasks by start time, I/O records by job
+/// id.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Cobalt job-scheduling log.
+    pub jobs: Vec<JobRecord>,
+    /// RAS event log.
+    pub ras: Vec<RasRecord>,
+    /// Physical execution (task) log.
+    pub tasks: Vec<TaskRecord>,
+    /// Darshan-style I/O log.
+    pub io: Vec<IoRecord>,
+}
+
+/// Error produced when loading or saving a [`Dataset`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// CSV-level failure, with the table it occurred in.
+    Csv {
+        /// Table (file stem) involved.
+        table: &'static str,
+        /// Underlying CSV error.
+        source: CsvError,
+    },
+    /// Row-level decode failure.
+    Schema(SchemaError),
+    /// Filesystem failure.
+    Io {
+        /// Path involved.
+        path: String,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Csv { table, source } => write!(f, "table {table}: {source}"),
+            StoreError::Schema(e) => write!(f, "{e}"),
+            StoreError::Io { path, source } => write!(f, "{path}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Csv { source, .. } => Some(source),
+            StoreError::Schema(e) => Some(e),
+            StoreError::Io { source, .. } => Some(source),
+        }
+    }
+}
+
+impl From<SchemaError> for StoreError {
+    fn from(e: SchemaError) -> Self {
+        StoreError::Schema(e)
+    }
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Sorts every table into its canonical order (jobs and tasks by start
+    /// time then id, RAS by time then record id, I/O by job id).
+    pub fn normalize(&mut self) {
+        self.jobs
+            .sort_by_key(|j| (j.started_at, j.job_id));
+        self.ras.sort_by_key(|r| (r.event_time, r.rec_id));
+        self.tasks
+            .sort_by_key(|t| (t.started_at, t.task_id));
+        self.io.sort_by_key(|r| r.job_id);
+    }
+
+    /// Writes the four tables as `jobs.csv`, `ras.csv`, `tasks.csv`,
+    /// `io.csv` under `dir` (created if needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on any filesystem or encoding failure.
+    pub fn save_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        std::fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+            path: dir.display().to_string(),
+            source,
+        })?;
+        save_table(dir, &self.jobs)?;
+        save_table(dir, &self.ras)?;
+        save_table(dir, &self.tasks)?;
+        save_table(dir, &self.io)?;
+        Ok(())
+    }
+
+    /// Loads a dataset previously written by [`Dataset::save_dir`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on missing files, malformed CSV, or rows that
+    /// fail schema validation.
+    pub fn load_dir(dir: &Path) -> Result<Self, StoreError> {
+        Ok(Dataset {
+            jobs: load_table(dir)?,
+            ras: load_table(dir)?,
+            tasks: load_table(dir)?,
+            io: load_table(dir)?,
+        })
+    }
+
+    /// Total records across all four tables.
+    pub fn total_records(&self) -> usize {
+        self.jobs.len() + self.ras.len() + self.tasks.len() + self.io.len()
+    }
+}
+
+fn table_path(dir: &Path, table: &str) -> std::path::PathBuf {
+    dir.join(format!("{table}.csv"))
+}
+
+fn save_table<R: Record>(dir: &Path, rows: &[R]) -> Result<(), StoreError> {
+    let path = table_path(dir, R::TABLE);
+    let file = File::create(&path).map_err(|source| StoreError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    let mut w = BufWriter::new(file);
+    let wrap = |source: CsvError| StoreError::Csv {
+        table: R::TABLE,
+        source,
+    };
+    write_record(&mut w, R::HEADER).map_err(wrap)?;
+    for row in rows {
+        write_record(&mut w, &row.encode()).map_err(wrap)?;
+    }
+    w.flush().map_err(|source| StoreError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    Ok(())
+}
+
+fn load_table<R: Record>(dir: &Path) -> Result<Vec<R>, StoreError> {
+    let path = table_path(dir, R::TABLE);
+    let file = File::open(&path).map_err(|source| StoreError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    let rows = CsvReader::new(BufReader::new(file))
+        .read_all()
+        .map_err(|source| StoreError::Csv {
+            table: R::TABLE,
+            source,
+        })?;
+    Ok(decode_table::<R>(&rows)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_model::ids::{JobId, ProjectId, RecId, UserId};
+    use bgq_model::job::{Mode, Queue};
+    use bgq_model::ras::{Category, Component, MsgId, Severity};
+    use bgq_model::{Block, Location, Timestamp};
+
+    fn job(id: u64, start: i64) -> JobRecord {
+        JobRecord {
+            job_id: JobId::new(id),
+            user: UserId::new(1),
+            project: ProjectId::new(1),
+            queue: Queue::Production,
+            nodes: 512,
+            mode: Mode::default(),
+            requested_walltime_s: 3600,
+            queued_at: Timestamp::from_secs(start - 60),
+            started_at: Timestamp::from_secs(start),
+            ended_at: Timestamp::from_secs(start + 100),
+            block: Block::new(0, 1).unwrap(),
+            exit_code: 0,
+            num_tasks: 1,
+        }
+    }
+
+    fn ras(id: u64, t: i64) -> RasRecord {
+        RasRecord {
+            rec_id: RecId::new(id),
+            msg_id: MsgId::new(0x0001_0001),
+            severity: Severity::Info,
+            category: Category::Process,
+            component: Component::Cnk,
+            event_time: Timestamp::from_secs(t),
+            location: "R00-M0".parse::<Location>().unwrap(),
+            message: "informational, nothing to see".to_owned(),
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bgq-logs-test-{}", std::process::id()));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(2, 200), job(1, 100)];
+        ds.ras = vec![ras(2, 150), ras(1, 50)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        let loaded = Dataset::load_dir(&dir).unwrap();
+        assert_eq!(loaded, ds);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn normalize_orders_tables() {
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(2, 200), job(1, 100)];
+        ds.ras = vec![ras(2, 150), ras(1, 50)];
+        ds.normalize();
+        assert_eq!(ds.jobs[0].job_id, JobId::new(1));
+        assert_eq!(ds.ras[0].rec_id, RecId::new(1));
+    }
+
+    #[test]
+    fn load_missing_dir_is_io_error() {
+        let err = Dataset::load_dir(Path::new("/nonexistent/bgq-data")).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+    }
+
+    #[test]
+    fn total_records_counts_all_tables() {
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.ras = vec![ras(1, 50), ras(2, 60)];
+        assert_eq!(ds.total_records(), 3);
+    }
+}

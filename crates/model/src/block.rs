@@ -1,0 +1,222 @@
+//! Partition (block) model.
+//!
+//! Cobalt runs each Mira job on a *block*: a set of midplanes wired into a
+//! torus partition. Production blocks are midplane-granular (512 nodes) and
+//! contiguous in the machine's midplane ordering; sizes are powers of two
+//! from 512 up to the full 49,152 nodes (96 midplanes). We model a block as
+//! a contiguous run of global midplane indices, which is what the spatial
+//! job↔RAS join needs.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::location::Location;
+use crate::machine::Machine;
+
+/// A torus partition: `len` consecutive midplanes starting at global linear
+/// midplane index `start`.
+///
+/// # Examples
+///
+/// ```
+/// use bgq_model::block::Block;
+///
+/// let block = Block::new(4, 8)?; // 8 midplanes = 4096 nodes
+/// assert_eq!(block.nodes(), 4096);
+/// assert_eq!(block.to_string(), "MIR-004-008");
+/// assert!(block.contains(&"R02-M0-N03".parse()?));
+/// assert!(!block.contains(&"R06-M0".parse()?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Block {
+    start: u16,
+    len: u16,
+}
+
+/// Error produced when constructing or parsing a [`Block`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// The block would extend past the end of the machine.
+    OutOfRange {
+        /// First midplane index of the attempted block.
+        start: u16,
+        /// Attempted length in midplanes.
+        len: u16,
+    },
+    /// The block would be empty.
+    Empty,
+    /// Text did not match the `MIR-<start>-<len>` syntax.
+    Syntax(String),
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::OutOfRange { start, len } => write!(
+                f,
+                "block [{start}, {start}+{len}) exceeds the machine's {} midplanes",
+                Machine::MIRA.total_midplanes()
+            ),
+            BlockError::Empty => f.write_str("block must contain at least one midplane"),
+            BlockError::Syntax(s) => write!(f, "invalid block syntax: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+impl Block {
+    /// Creates a block of `len` midplanes starting at linear index `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::Empty`] if `len == 0`, or
+    /// [`BlockError::OutOfRange`] if the block extends past the machine.
+    pub fn new(start: u16, len: u16) -> Result<Self, BlockError> {
+        if len == 0 {
+            return Err(BlockError::Empty);
+        }
+        let end = start as usize + len as usize;
+        if end > Machine::MIRA.total_midplanes() {
+            return Err(BlockError::OutOfRange { start, len });
+        }
+        Ok(Block { start, len })
+    }
+
+    /// First midplane (global linear index) of the block.
+    pub const fn start(&self) -> u16 {
+        self.start
+    }
+
+    /// Number of midplanes in the block.
+    pub const fn len(&self) -> u16 {
+        self.len
+    }
+
+    /// `true` if the block has no midplanes (never true for a constructed
+    /// block; present for API completeness).
+    pub const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the last midplane index.
+    pub const fn end(&self) -> u16 {
+        self.start + self.len
+    }
+
+    /// Number of compute nodes in the block (512 per midplane).
+    pub fn nodes(&self) -> u32 {
+        u32::from(self.len) * Machine::MIRA.nodes_per_midplane() as u32
+    }
+
+    /// `true` if the hardware named by `loc` lies inside this block.
+    ///
+    /// Rack-granularity locations are considered inside if *either* of the
+    /// rack's midplanes belongs to the block: a rack-level event (e.g. a
+    /// coolant fault) affects every job with hardware in that rack.
+    pub fn contains(&self, loc: &Location) -> bool {
+        match loc.midplane_linear() {
+            Some(linear) => (self.start..self.end()).contains(&linear),
+            None => {
+                let per_rack = Machine::MIRA.midplanes_per_rack() as u16;
+                let rack_first = u16::from(loc.rack_index()) * per_rack;
+                // Overlap test between [rack_first, rack_first+per_rack) and
+                // [start, end).
+                rack_first < self.end() && self.start < rack_first + per_rack
+            }
+        }
+    }
+
+    /// `true` if the two blocks share at least one midplane.
+    pub fn overlaps(&self, other: &Block) -> bool {
+        self.start < other.end() && other.start < self.end()
+    }
+
+    /// Iterates over the midplane [`Location`]s of the block.
+    pub fn midplanes(&self) -> impl Iterator<Item = Location> + '_ {
+        (self.start..self.end()).map(|i| Machine::MIRA.midplane_from_linear(i))
+    }
+}
+
+impl fmt::Display for Block {
+    /// Formats as `MIR-<start>-<len>`, e.g. `MIR-004-008`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MIR-{:03}-{:03}", self.start, self.len)
+    }
+}
+
+impl FromStr for Block {
+    type Err = BlockError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || BlockError::Syntax(s.to_owned());
+        let rest = s.strip_prefix("MIR-").ok_or_else(err)?;
+        let (start, len) = rest.split_once('-').ok_or_else(err)?;
+        let start = start.parse::<u16>().map_err(|_| err())?;
+        let len = len.parse::<u16>().map_err(|_| err())?;
+        Block::new(start, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_bounds() {
+        assert!(Block::new(0, 96).is_ok());
+        assert_eq!(Block::new(0, 0), Err(BlockError::Empty));
+        assert_eq!(
+            Block::new(95, 2),
+            Err(BlockError::OutOfRange { start: 95, len: 2 })
+        );
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for (start, len) in [(0u16, 1u16), (4, 8), (88, 8), (0, 96)] {
+            let b = Block::new(start, len).unwrap();
+            assert_eq!(b.to_string().parse::<Block>().unwrap(), b);
+        }
+        assert!("MIR-100-8".parse::<Block>().is_err());
+        assert!("MIR-1".parse::<Block>().is_err());
+        assert!("BLK-0-1".parse::<Block>().is_err());
+    }
+
+    #[test]
+    fn contains_fine_grained_locations() {
+        let b = Block::new(4, 8).unwrap(); // midplanes 4..12 = R02-M0 .. R05-M1
+        assert!(b.contains(&"R02-M0".parse().unwrap()));
+        assert!(b.contains(&"R05-M1-N15-J31-C15".parse().unwrap()));
+        assert!(!b.contains(&"R01-M1".parse().unwrap()));
+        assert!(!b.contains(&"R06-M0".parse().unwrap()));
+    }
+
+    #[test]
+    fn rack_level_events_hit_blocks_with_any_midplane_in_rack() {
+        let b = Block::new(5, 2).unwrap(); // R02-M1, R03-M0
+        assert!(b.contains(&"R02".parse().unwrap()));
+        assert!(b.contains(&"R03".parse().unwrap()));
+        assert!(!b.contains(&"R04".parse().unwrap()));
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_exact() {
+        let a = Block::new(0, 4).unwrap();
+        let b = Block::new(3, 4).unwrap();
+        let c = Block::new(4, 4).unwrap();
+        assert!(a.overlaps(&b) && b.overlaps(&a));
+        assert!(!a.overlaps(&c) && !c.overlaps(&a));
+    }
+
+    #[test]
+    fn node_count_and_midplane_iter() {
+        let b = Block::new(4, 8).unwrap();
+        assert_eq!(b.nodes(), 4096);
+        let mids: Vec<String> = b.midplanes().map(|m| m.to_string()).collect();
+        assert_eq!(mids.first().unwrap(), "R02-M0");
+        assert_eq!(mids.last().unwrap(), "R05-M1");
+        assert_eq!(mids.len(), 8);
+    }
+}

@@ -1,0 +1,131 @@
+//! Opaque identifier newtypes shared by all log schemas.
+//!
+//! The real Mira logs identify users and projects by (anonymized) strings
+//! and jobs/records by integers; we use integer newtypes throughout so that
+//! the type system keeps the four log sources from being cross-wired
+//! (e.g. indexing a per-user table with a project id).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when parsing one of the identifier newtypes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIdError {
+    kind: &'static str,
+    input: String,
+}
+
+impl ParseIdError {
+    fn new(kind: &'static str, input: &str) -> Self {
+        ParseIdError {
+            kind,
+            input: input.to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for ParseIdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {} syntax: {:?}", self.kind, self.input)
+    }
+}
+
+impl std::error::Error for ParseIdError {}
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal, $kind:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name($inner);
+
+        impl $name {
+            /// Wraps a raw numeric identifier.
+            pub const fn new(raw: $inner) -> Self {
+                $name(raw)
+            }
+
+            /// The raw numeric identifier.
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(raw: $inner) -> Self {
+                $name(raw)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = ParseIdError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let digits = s.strip_prefix($prefix).unwrap_or(s);
+                digits
+                    .parse::<$inner>()
+                    .map($name)
+                    .map_err(|_| ParseIdError::new($kind, s))
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A Cobalt job identifier (one per scheduler job record).
+    JobId, u64, "job", "job id"
+);
+id_newtype!(
+    /// An anonymized user identifier.
+    UserId, u32, "u", "user id"
+);
+id_newtype!(
+    /// An anonymized project (allocation) identifier.
+    ProjectId, u32, "p", "project id"
+);
+id_newtype!(
+    /// A `runjob` task identifier (one per physical execution of a job).
+    TaskId, u64, "task", "task id"
+);
+id_newtype!(
+    /// A RAS log record identifier.
+    RecId, u64, "rec", "record id"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        assert_eq!(JobId::new(42).to_string(), "job42");
+        assert_eq!("job42".parse::<JobId>().unwrap(), JobId::new(42));
+        assert_eq!("u7".parse::<UserId>().unwrap(), UserId::new(7));
+        assert_eq!("p3".parse::<ProjectId>().unwrap(), ProjectId::new(3));
+        assert_eq!("task9".parse::<TaskId>().unwrap(), TaskId::new(9));
+        assert_eq!("rec1".parse::<RecId>().unwrap(), RecId::new(1));
+    }
+
+    #[test]
+    fn bare_digits_parse_too() {
+        assert_eq!("123".parse::<JobId>().unwrap(), JobId::new(123));
+        assert_eq!("8".parse::<UserId>().unwrap(), UserId::new(8));
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_kind() {
+        let err = "xyz".parse::<UserId>().unwrap_err();
+        assert!(err.to_string().contains("user id"));
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(JobId::new(1) < JobId::new(2));
+        assert_eq!(UserId::from(5).raw(), 5);
+    }
+}

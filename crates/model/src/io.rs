@@ -1,0 +1,89 @@
+//! The I/O behavior log schema (Darshan-style per-job summaries).
+//!
+//! ALCF instruments jobs with Darshan, which emits one I/O profile per
+//! instrumented execution. The paper uses these to relate job failures to
+//! I/O behavior. We keep the handful of aggregate counters the analysis
+//! needs.
+
+use crate::ids::JobId;
+
+/// One record of the I/O log: the aggregate I/O profile of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoRecord {
+    /// The profiled job.
+    pub job_id: JobId,
+    /// Total bytes read across all ranks and files.
+    pub bytes_read: u64,
+    /// Total bytes written across all ranks and files.
+    pub bytes_written: u64,
+    /// Distinct files opened for reading.
+    pub files_read: u32,
+    /// Distinct files opened for writing.
+    pub files_written: u32,
+    /// Cumulative time spent in I/O calls, in seconds (summed over ranks).
+    pub io_time_s: f64,
+}
+
+impl IoRecord {
+    /// Total bytes moved (read + written).
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_read.saturating_add(self.bytes_written)
+    }
+
+    /// Fraction of bytes that were writes, in `[0, 1]`; `0` when the job
+    /// performed no I/O.
+    pub fn write_ratio(&self) -> f64 {
+        let total = self.bytes_total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bytes_written as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_totals() {
+        let r = IoRecord {
+            job_id: JobId::new(1),
+            bytes_read: 100,
+            bytes_written: 300,
+            files_read: 2,
+            files_written: 1,
+            io_time_s: 1.5,
+        };
+        assert_eq!(r.bytes_total(), 400);
+        assert_eq!(r.write_ratio(), 0.75);
+    }
+
+    #[test]
+    fn zero_io_job() {
+        let r = IoRecord {
+            job_id: JobId::new(1),
+            bytes_read: 0,
+            bytes_written: 0,
+            files_read: 0,
+            files_written: 0,
+            io_time_s: 0.0,
+        };
+        assert_eq!(r.bytes_total(), 0);
+        assert_eq!(r.write_ratio(), 0.0);
+    }
+
+    #[test]
+    fn byte_total_saturates() {
+        let r = IoRecord {
+            job_id: JobId::new(1),
+            bytes_read: u64::MAX,
+            bytes_written: 1,
+            files_read: 0,
+            files_written: 0,
+            io_time_s: 0.0,
+        };
+        assert_eq!(r.bytes_total(), u64::MAX);
+    }
+}

@@ -1,0 +1,47 @@
+//! Domain model for the Mira BG/Q failure study.
+//!
+//! This crate defines the machine topology and the schemas of the four log
+//! sources the DSN 2019 paper joins:
+//!
+//! * [`job::JobRecord`] — the Cobalt job-scheduling log,
+//! * [`ras::RasRecord`] — the RAS (reliability/availability/serviceability) log,
+//! * [`task::TaskRecord`] — the physical execution (task) log,
+//! * [`io::IoRecord`] — the Darshan-style I/O behavior log,
+//!
+//! plus the supporting vocabulary: [`location::Location`] hardware codes,
+//! [`block::Block`] partitions, [`machine::Machine`] dimensions,
+//! [`time::Timestamp`] civil time, and identifier newtypes in [`ids`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bgq_model::location::Location;
+//! use bgq_model::block::Block;
+//!
+//! // An 8-midplane (4096-node) block starting at midplane 4 ...
+//! let block = Block::new(4, 8)?;
+//! // ... contains a DDR event reported on a compute card in rack 2.
+//! let event_loc: Location = "R02-M1-N03-J17".parse()?;
+//! assert!(block.contains(&event_loc));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod block;
+pub mod ids;
+pub mod io;
+pub mod job;
+pub mod location;
+pub mod machine;
+pub mod ras;
+pub mod task;
+pub mod time;
+
+pub use block::Block;
+pub use ids::{JobId, ProjectId, RecId, TaskId, UserId};
+pub use io::IoRecord;
+pub use job::{JobRecord, Mode, Queue};
+pub use location::{Granularity, Location};
+pub use machine::Machine;
+pub use ras::{Category, Component, MsgId, RasRecord, Severity};
+pub use task::TaskRecord;
+pub use time::{Span, Timestamp};

@@ -1,0 +1,64 @@
+//! The task (physical execution) log schema.
+//!
+//! A Cobalt *job* is a script; each `runjob` invocation inside it launches
+//! one *task* — the actual parallel execution on a block. The paper joins
+//! this log with the scheduler log to study how failure probability varies
+//! with the number of tasks, and with the RAS log to localize event impact.
+
+use crate::block::Block;
+use crate::ids::{JobId, TaskId};
+use crate::time::{Span, Timestamp};
+
+/// One record of the task log: a single `runjob` execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskRecord {
+    /// Monotonic task identifier.
+    pub task_id: TaskId,
+    /// The owning Cobalt job.
+    pub job_id: JobId,
+    /// Sequence number of this task within its job (0-based).
+    pub seq: u32,
+    /// Block the task executed on (a sub-block or the job's full block).
+    pub block: Block,
+    /// Task start time.
+    pub started_at: Timestamp,
+    /// Task end time.
+    pub ended_at: Timestamp,
+    /// Number of MPI ranks launched.
+    pub ranks: u64,
+    /// Task exit code (0 = success).
+    pub exit_code: i32,
+}
+
+impl TaskRecord {
+    /// Wall-clock task length.
+    pub fn runtime(&self) -> Span {
+        self.ended_at - self.started_at
+    }
+
+    /// `true` if the task exited with code 0.
+    pub fn succeeded(&self) -> bool {
+        self.exit_code == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_quantities() {
+        let t = TaskRecord {
+            task_id: TaskId::new(5),
+            job_id: JobId::new(1),
+            seq: 2,
+            block: Block::new(0, 1).unwrap(),
+            started_at: Timestamp::from_secs(100),
+            ended_at: Timestamp::from_secs(400),
+            ranks: 8192,
+            exit_code: 11,
+        };
+        assert_eq!(t.runtime().as_secs(), 300);
+        assert!(!t.succeeded());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the domain model: parse/display roundtrips and the
+//! algebraic laws of containment.
+
+use bgq_model::block::Block;
+use bgq_model::location::{Granularity, Location};
+use bgq_model::machine::Machine;
+use bgq_model::time::{Span, Timestamp};
+use proptest::prelude::*;
+
+fn arb_location() -> impl Strategy<Value = Location> {
+    (0u8..48, 0u8..2, 0u8..16, 0u8..32, 0u8..16, 0u8..5).prop_map(|(r, m, n, j, c, g)| match g {
+        0 => Location::rack(r),
+        1 => Location::midplane(r, m),
+        2 => Location::node_board(r, m, n),
+        3 => Location::compute_card(r, m, n, j),
+        _ => Location::core(r, m, n, j, c),
+    })
+}
+
+fn arb_block() -> impl Strategy<Value = Block> {
+    (0u16..96).prop_flat_map(|start| {
+        (Just(start), 1u16..=(96 - start)).prop_map(|(s, l)| Block::new(s, l).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn location_display_parse_roundtrip(loc in arb_location()) {
+        let text = loc.to_string();
+        let parsed: Location = text.parse().unwrap();
+        prop_assert_eq!(parsed, loc);
+    }
+
+    #[test]
+    fn containment_is_reflexive(loc in arb_location()) {
+        prop_assert!(loc.contains(&loc));
+    }
+
+    #[test]
+    fn containment_is_antisymmetric(a in arb_location(), b in arb_location()) {
+        if a.contains(&b) && b.contains(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn coarser_truncations_always_contain(loc in arb_location()) {
+        prop_assert!(loc.rack_location().contains(&loc));
+        if let Some(mid) = loc.midplane_location() {
+            prop_assert!(mid.contains(&loc));
+        }
+        if let Some(board) = loc.board_location() {
+            prop_assert!(board.contains(&loc));
+        }
+    }
+
+    #[test]
+    fn proximity_is_symmetric_and_bounded(a in arb_location(), b in arb_location()) {
+        prop_assert_eq!(a.proximity(&b), b.proximity(&a));
+        prop_assert!(a.proximity(&b) <= 3);
+        if a.granularity() >= Granularity::NodeBoard {
+            prop_assert_eq!(a.proximity(&a), 0);
+        }
+    }
+
+    #[test]
+    fn block_display_parse_roundtrip(block in arb_block()) {
+        let text = block.to_string();
+        prop_assert_eq!(text.parse::<Block>().unwrap(), block);
+    }
+
+    #[test]
+    fn block_contains_exactly_its_midplanes(block in arb_block()) {
+        let machine = Machine::MIRA;
+        for i in 0..machine.total_midplanes() as u16 {
+            let mid = machine.midplane_from_linear(i);
+            let inside = (block.start()..block.end()).contains(&i);
+            prop_assert_eq!(block.contains(&mid), inside);
+        }
+    }
+
+    #[test]
+    fn block_overlap_matches_midplane_intersection(a in arb_block(), b in arb_block()) {
+        let brute = (a.start()..a.end()).any(|i| (b.start()..b.end()).contains(&i));
+        prop_assert_eq!(a.overlaps(&b), brute);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn rack_event_containment_matches_midplane_expansion(block in arb_block(), rack in 0u8..48) {
+        let rack_loc = Location::rack(rack);
+        let expanded = (0..2u8).any(|m| block.contains(&Location::midplane(rack, m)));
+        prop_assert_eq!(block.contains(&rack_loc), expanded);
+    }
+
+    #[test]
+    fn timestamp_display_parse_roundtrip(secs in -2_000_000_000i64..4_000_000_000) {
+        let t = Timestamp::from_secs(secs);
+        let parsed: Timestamp = t.to_string().parse().unwrap();
+        prop_assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn timestamp_day_decomposition_consistent(secs in 0i64..4_000_000_000) {
+        let t = Timestamp::from_secs(secs);
+        let (y, m, d) = t.ymd();
+        let rebuilt = Timestamp::from_ymd_hms(y, m, d, t.hour_of_day(), 0, 0);
+        // Same calendar day and hour.
+        prop_assert_eq!(rebuilt.day_number(), t.day_number());
+        prop_assert_eq!(rebuilt.hour_of_day(), t.hour_of_day());
+    }
+
+    #[test]
+    fn span_arithmetic_roundtrip(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let t = Timestamp::from_secs(a);
+        let s = Span::from_secs(b);
+        prop_assert_eq!((t + s) - t, s);
+        prop_assert_eq!((t + s) - s, t);
+    }
+}

@@ -1,0 +1,355 @@
+//! The fatal hardware incident process.
+//!
+//! Incidents are the exogenous ground truth behind the paper's MTBF/MTTI
+//! analyses: a renewal process with exponential gaps whose spatial
+//! distribution is strongly non-uniform ("lemon" boards account for most
+//! strikes — the locality feature the abstract highlights). Each incident
+//! later expands into a storm of correlated FATAL records, which is what
+//! the similarity-based filter must compress back to one failure.
+
+use bgq_model::ras::Category;
+use bgq_model::{Location, Span, Timestamp};
+use rand::Rng;
+
+use crate::catalog::{CatalogEntry, FATAL_BQC, FATAL_DDR, FATAL_FACILITY, FATAL_LINK};
+use crate::config::SimConfig;
+
+/// Granularity of the hardware element an incident takes down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IncidentScope {
+    /// A single node board (most common: DDR/BQC faults).
+    Board,
+    /// A whole midplane (link/service faults).
+    Midplane,
+    /// A whole rack (coolant/power faults).
+    Rack,
+}
+
+/// One fatal hardware incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Incident {
+    /// When the fault struck.
+    pub time: Timestamp,
+    /// Root hardware element.
+    pub root: Location,
+    /// Fault category.
+    pub category: Category,
+    /// Whether the root is one of the lemon boards.
+    pub on_lemon: bool,
+    /// Scope of the outage.
+    pub scope: IncidentScope,
+    /// Logical failure id: an incident and its aftershocks (recurrences of
+    /// the same fault within hours) share a group. The similarity filter is
+    /// expected to recover *groups*, not raw incidents.
+    pub group: u32,
+}
+
+impl Incident {
+    /// The catalog family whose messages this incident emits.
+    pub fn message_family(&self) -> &'static [CatalogEntry] {
+        match self.category {
+            Category::Ddr => &FATAL_DDR,
+            Category::BqcChip => &FATAL_BQC,
+            Category::BqlLink => &FATAL_LINK,
+            _ => &FATAL_FACILITY,
+        }
+    }
+}
+
+/// Picks the lemon boards for the machine (distinct, deterministic in the
+/// RNG stream).
+pub fn pick_lemon_boards<R: Rng + ?Sized>(config: &SimConfig, rng: &mut R) -> Vec<Location> {
+    let m = &config.machine;
+    let mut boards = Vec::with_capacity(config.n_lemon_boards);
+    while boards.len() < config.n_lemon_boards {
+        let rack = rng.gen_range(0..m.racks()) as u8;
+        let mid = rng.gen_range(0..m.midplanes_per_rack()) as u8;
+        let board = rng.gen_range(0..m.boards_per_midplane()) as u8;
+        let loc = Location::node_board(rack, mid, board);
+        if !boards.contains(&loc) {
+            boards.push(loc);
+        }
+    }
+    boards
+}
+
+/// Generates the incident timeline for the whole horizon.
+pub fn generate_incidents<R: Rng + ?Sized>(
+    config: &SimConfig,
+    lemon_boards: &[Location],
+    rng: &mut R,
+) -> Vec<Incident> {
+    let gap_secs = config.incident_gap_days * 86_400.0;
+    let mut incidents = Vec::new();
+    let mut t = config.origin;
+    let end = config.horizon_end();
+    let mut group: u32 = 0;
+    // Infant mortality: the rate starts at `early_life_factor x` the
+    // mature rate and decays with time constant tau = min(horizon/4, 180 d).
+    // Implemented by Lewis thinning of a homogeneous process at the peak
+    // rate.
+    let factor = config.early_life_factor.max(1.0);
+    let tau_secs = (f64::from(config.days) / 4.0).min(180.0) * 86_400.0;
+    let rate_multiplier = |at: Timestamp| -> f64 {
+        let age = (at - config.origin).as_secs().max(0) as f64;
+        1.0 + (factor - 1.0) * (-age / tau_secs).exp()
+    };
+    loop {
+        // Candidate gap at the peak rate; thin to the instantaneous rate.
+        let gap = -rng.gen::<f64>().max(f64::MIN_POSITIVE).ln() * gap_secs / factor;
+        t += Span::from_secs(gap.max(1.0) as i64);
+        if t >= end {
+            break;
+        }
+        if rng.gen::<f64>() >= rate_multiplier(t) / factor {
+            continue;
+        }
+        let primary = make_incident(config, lemon_boards, t, group, rng);
+        // Flapping: a quarter of faults recur on the same hardware within
+        // hours. Same logical failure; the similarity filter must merge it.
+        if rng.gen::<f64>() < 0.25 {
+            let shocks = rng.gen_range(1..=3);
+            let mut shock_t = t;
+            for _ in 0..shocks {
+                shock_t += Span::from_secs(rng.gen_range(2_400..18_000));
+                if shock_t >= end {
+                    break;
+                }
+                incidents.push(Incident {
+                    time: shock_t,
+                    ..primary.clone()
+                });
+            }
+        }
+        // Coincident faults: occasionally an unrelated element fails within
+        // minutes (shared facility stress). Distinct logical failure; the
+        // spatial stage must keep it separate.
+        if rng.gen::<f64>() < 0.10 {
+            group += 1;
+            let near_t = t + Span::from_secs(rng.gen_range(10..600));
+            if near_t < end {
+                incidents.push(make_incident(config, lemon_boards, near_t, group, rng));
+            }
+        }
+        incidents.push(primary);
+        group += 1;
+    }
+    incidents.sort_by_key(|i| i.time);
+    incidents
+}
+
+fn make_incident<R: Rng + ?Sized>(
+    config: &SimConfig,
+    lemon_boards: &[Location],
+    time: Timestamp,
+    group: u32,
+    rng: &mut R,
+) -> Incident {
+    let m = &config.machine;
+    let scope_draw = rng.gen::<f64>();
+    if scope_draw < 0.75 {
+        // Board-level fault, biased toward the lemons.
+        let (root, on_lemon) = if !lemon_boards.is_empty() && rng.gen::<f64>() < config.lemon_bias {
+            (lemon_boards[rng.gen_range(0..lemon_boards.len())], true)
+        } else {
+            let rack = rng.gen_range(0..m.racks()) as u8;
+            let mid = rng.gen_range(0..m.midplanes_per_rack()) as u8;
+            let board = rng.gen_range(0..m.boards_per_midplane()) as u8;
+            let loc = Location::node_board(rack, mid, board);
+            (loc, lemon_boards.contains(&loc))
+        };
+        let category = match rng.gen_range(0..10) {
+            0..=4 => Category::Ddr,
+            5..=7 => Category::BqcChip,
+            _ => Category::BqlLink,
+        };
+        Incident {
+            time,
+            root,
+            category,
+            on_lemon,
+            scope: IncidentScope::Board,
+            group,
+        }
+    } else if scope_draw < 0.90 {
+        let rack = rng.gen_range(0..m.racks()) as u8;
+        let mid = rng.gen_range(0..m.midplanes_per_rack()) as u8;
+        Incident {
+            time,
+            root: Location::midplane(rack, mid),
+            category: Category::BqlLink,
+            on_lemon: false,
+            scope: IncidentScope::Midplane,
+            group,
+        }
+    } else {
+        let rack = rng.gen_range(0..m.racks()) as u8;
+        let category = match rng.gen_range(0..3) {
+            0 => Category::CoolantMonitor,
+            1 => Category::AcToDcPower,
+            _ => Category::DcToDcPower,
+        };
+        Incident {
+            time,
+            root: Location::rack(rack),
+            category,
+            on_lemon: false,
+            scope: IncidentScope::Rack,
+            group,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(days: u32, gap: f64) -> (SimConfig, Vec<Location>, Vec<Incident>) {
+        let cfg = SimConfig::small(days).with_incident_gap_days(gap);
+        let mut rng = StdRng::seed_from_u64(5);
+        let lemons = pick_lemon_boards(&cfg, &mut rng);
+        let incidents = generate_incidents(&cfg, &lemons, &mut rng);
+        (cfg, lemons, incidents)
+    }
+
+    #[test]
+    fn logical_incident_count_tracks_gap() {
+        let (cfg, _, incidents) = setup(300, 1.0);
+        // Primaries arrive at 1/gap per day; coincident faults add ~10%.
+        let mut groups: Vec<u32> = incidents.iter().map(|i| i.group).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        let expected = f64::from(cfg.days) / cfg.incident_gap_days * 1.1;
+        let got = groups.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.35,
+            "got {got}, expected ≈ {expected}"
+        );
+        // Aftershocks inflate the raw count beyond the group count.
+        assert!(incidents.len() > groups.len());
+    }
+
+    #[test]
+    fn infant_mortality_front_loads_incidents() {
+        let cfg = SimConfig {
+            early_life_factor: 4.0,
+            ..SimConfig::small(400).with_incident_gap_days(1.0)
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let lemons = pick_lemon_boards(&cfg, &mut rng);
+        let incidents = generate_incidents(&cfg, &lemons, &mut rng);
+        let mid = cfg.origin + bgq_model::Span::from_days(200);
+        let first_half = incidents.iter().filter(|i| i.time < mid).count();
+        let second_half = incidents.len() - first_half;
+        // tau = 100 days, factor 4: the first half carries far more.
+        assert!(
+            first_half as f64 > second_half as f64 * 1.5,
+            "first {first_half} vs second {second_half}"
+        );
+    }
+
+    #[test]
+    fn factor_one_is_homogeneous() {
+        let cfg = SimConfig::small(400).with_incident_gap_days(1.0);
+        let mut rng = StdRng::seed_from_u64(78);
+        let lemons = pick_lemon_boards(&cfg, &mut rng);
+        let incidents = generate_incidents(&cfg, &lemons, &mut rng);
+        let mid = cfg.origin + bgq_model::Span::from_days(200);
+        let first_half = incidents.iter().filter(|i| i.time < mid).count();
+        let second_half = incidents.len() - first_half;
+        let ratio = first_half as f64 / second_half.max(1) as f64;
+        assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn aftershocks_share_root_and_group() {
+        let (_, _, incidents) = setup(600, 0.5);
+        use std::collections::HashMap;
+        let mut by_group: HashMap<u32, Vec<&Incident>> = HashMap::new();
+        for i in &incidents {
+            by_group.entry(i.group).or_default().push(i);
+        }
+        let mut multi = 0;
+        for members in by_group.values() {
+            if members.len() > 1 {
+                multi += 1;
+                for m in members {
+                    assert_eq!(m.root, members[0].root, "aftershock moved hardware");
+                    assert_eq!(m.category, members[0].category);
+                }
+            }
+        }
+        assert!(multi > 0, "no flapping groups generated");
+    }
+
+    #[test]
+    fn incidents_sorted_within_horizon() {
+        let (cfg, _, incidents) = setup(120, 1.0);
+        assert!(incidents.windows(2).all(|w| w[0].time <= w[1].time));
+        for i in &incidents {
+            assert!(i.time >= cfg.origin && i.time < cfg.horizon_end());
+        }
+    }
+
+    #[test]
+    fn lemons_attract_most_board_incidents() {
+        let (_, lemons, incidents) = setup(2000, 0.5);
+        let board_incidents: Vec<_> = incidents
+            .iter()
+            .filter(|i| i.scope == IncidentScope::Board)
+            .collect();
+        let on_lemon = board_incidents.iter().filter(|i| i.on_lemon).count();
+        let share = on_lemon as f64 / board_incidents.len() as f64;
+        assert!(share > 0.5, "lemon share {share}");
+        for i in &incidents {
+            if i.on_lemon {
+                assert!(lemons.contains(&i.root));
+            }
+        }
+    }
+
+    #[test]
+    fn scope_matches_root_granularity() {
+        use bgq_model::Granularity;
+        let (_, _, incidents) = setup(600, 0.5);
+        for i in &incidents {
+            let expect = match i.scope {
+                IncidentScope::Board => Granularity::NodeBoard,
+                IncidentScope::Midplane => Granularity::Midplane,
+                IncidentScope::Rack => Granularity::Rack,
+            };
+            assert_eq!(i.root.granularity(), expect);
+        }
+        // All three scopes occur over a long horizon.
+        assert!(incidents.iter().any(|i| i.scope == IncidentScope::Board));
+        assert!(incidents.iter().any(|i| i.scope == IncidentScope::Midplane));
+        assert!(incidents.iter().any(|i| i.scope == IncidentScope::Rack));
+    }
+
+    #[test]
+    fn message_family_matches_category() {
+        let (_, _, incidents) = setup(600, 0.5);
+        for i in &incidents {
+            let fam = i.message_family();
+            assert!(!fam.is_empty());
+            if i.category == Category::Ddr {
+                assert_eq!(fam[0].msg_id.family(), 0x0008);
+            }
+        }
+    }
+
+    #[test]
+    fn lemon_boards_are_distinct() {
+        let cfg = SimConfig::small(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let lemons = pick_lemon_boards(&cfg, &mut rng);
+        assert_eq!(lemons.len(), cfg.n_lemon_boards);
+        for (i, a) in lemons.iter().enumerate() {
+            for b in &lemons[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Darshan-style I/O profile generation.
+//!
+//! Per instrumented job: heavy-tailed bytes moved (lognormal per
+//! node-hour), a write-dominated mix (checkpoint-style workloads), and an
+//! I/O time that is a modest fraction of the runtime.
+
+use bgq_model::ids::JobId;
+use bgq_model::IoRecord;
+use bgq_stats::dist::Dist;
+use rand::Rng;
+
+use crate::config::SimConfig;
+use crate::scheduler::ScheduledJob;
+
+/// Generates the I/O record for one job, or `None` if the job was not
+/// instrumented (coverage is configurable).
+pub fn io_record<R: Rng + ?Sized>(
+    config: &SimConfig,
+    job_id: JobId,
+    job: &ScheduledJob,
+    rng: &mut R,
+) -> Option<IoRecord> {
+    if rng.gen::<f64>() >= config.io_coverage {
+        return None;
+    }
+    let runtime_s = (job.ended_at - job.started_at).as_secs().max(1) as f64;
+    let node_hours = f64::from(job.spec.nodes()) * runtime_s / 3_600.0;
+    // Bytes per node-hour: lognormal, median ≈ 200 MB, long right tail.
+    let per_nh = Dist::lognormal((2.0e8f64).ln(), 1.5)
+        .expect("static parameters")
+        .sample(rng);
+    let total_bytes = (per_nh * node_hours).min(1.0e16);
+    let write_ratio = 0.40 + 0.55 * rng.gen::<f64>();
+    let bytes_written = (total_bytes * write_ratio) as u64;
+    let bytes_read = (total_bytes * (1.0 - write_ratio)) as u64;
+    let ranks = f64::from(job.spec.nodes()) * f64::from(job.spec.mode.ranks_per_node());
+    let files_written = (1.0 + ranks / 256.0 * rng.gen::<f64>()) as u32;
+    let files_read = (1.0 + ranks / 512.0 * rng.gen::<f64>()) as u32;
+    let io_time_s = runtime_s * (0.02 + 0.23 * rng.gen::<f64>());
+    Some(IoRecord {
+        job_id,
+        bytes_read,
+        bytes_written,
+        files_read,
+        files_written,
+        io_time_s,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{JobSpec, PlannedOutcome};
+    use bgq_model::{Block, Timestamp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn job() -> ScheduledJob {
+        ScheduledJob {
+            spec_idx: 0,
+            spec: JobSpec {
+                queued_at: Timestamp::from_secs(0),
+                user_idx: 0,
+                midplanes: 2,
+                mode: Default::default(),
+                walltime_s: 7_200,
+                num_tasks: 1,
+                queue: Default::default(),
+                outcome: PlannedOutcome::Success { runtime_s: 3_600 },
+            },
+            started_at: Timestamp::from_secs(0),
+            ended_at: Timestamp::from_secs(3_600),
+            block: Block::new(0, 2).unwrap(),
+            exit_code: 0,
+            killed_by: None,
+        }
+    }
+
+    #[test]
+    fn coverage_controls_presence() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let full = SimConfig {
+            io_coverage: 1.0,
+            ..SimConfig::small(1)
+        };
+        let none = SimConfig {
+            io_coverage: 0.0,
+            ..SimConfig::small(1)
+        };
+        assert!(io_record(&full, JobId::new(1), &job(), &mut rng).is_some());
+        assert!(io_record(&none, JobId::new(1), &job(), &mut rng).is_none());
+    }
+
+    #[test]
+    fn profile_fields_are_sane() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = SimConfig {
+            io_coverage: 1.0,
+            ..SimConfig::small(1)
+        };
+        for _ in 0..200 {
+            let r = io_record(&cfg, JobId::new(7), &job(), &mut rng).unwrap();
+            assert_eq!(r.job_id, JobId::new(7));
+            assert!(r.bytes_total() > 0);
+            assert!((0.0..=1.0).contains(&r.write_ratio()));
+            assert!(r.files_written >= 1 && r.files_read >= 1);
+            assert!(r.io_time_s > 0.0 && r.io_time_s <= 3_600.0 * 0.26);
+        }
+    }
+}

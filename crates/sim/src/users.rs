@@ -1,0 +1,218 @@
+//! The user/project population.
+//!
+//! The paper's concentration findings (a handful of users dominate both
+//! core-hours and failures) require a heterogeneous population: activity
+//! follows a Zipf law, users belong to projects, and each user has an
+//! intrinsic bug rate drawn from a bimodal mixture (most users are careful,
+//! a minority is very failure-prone) plus personal preferences for job
+//! scale and wall time.
+
+use bgq_model::ids::{ProjectId, UserId};
+use rand::Rng;
+
+use crate::config::SimConfig;
+
+/// One synthetic user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UserProfile {
+    /// The user's id.
+    pub user: UserId,
+    /// The project the user charges to.
+    pub project: ProjectId,
+    /// Zipf activity weight (relative probability of owning an arrival).
+    pub activity: f64,
+    /// Intrinsic per-job user-failure probability (before scale and task
+    /// multipliers).
+    pub bug_rate: f64,
+    /// Index shift into the size-weight table: `+1` doubles the user's
+    /// typical job size class, `-1` halves it (clamped at sampling time).
+    pub size_shift: i32,
+    /// Multiplier on requested wall times (captures short-job vs
+    /// long-campaign users).
+    pub walltime_mult: f64,
+    /// Per-user mix over the failure-mode table (same length as
+    /// [`crate::catalog::failure_modes`]), normalized.
+    pub mode_mix: Vec<f64>,
+}
+
+/// The whole population, with cumulative activity weights for sampling.
+#[derive(Debug, Clone)]
+pub struct Population {
+    users: Vec<UserProfile>,
+    cumulative: Vec<f64>,
+}
+
+impl Population {
+    /// Generates a population from the config.
+    pub fn generate<R: Rng + ?Sized>(config: &SimConfig, rng: &mut R) -> Self {
+        let n_modes = crate::catalog::failure_modes().len();
+        let mut users = Vec::with_capacity(config.n_users as usize);
+        for i in 0..config.n_users {
+            // Zipf-ish activity: weight ∝ 1/rank^0.9 with random rank
+            // assignment so user ids are not sorted by activity.
+            let rank = i as f64 + 1.0;
+            let activity = rank.powf(-0.9);
+            // Bimodal bug rate: 80% careful users (mean ≈ 0.17), 20%
+            // failure-prone (mean ≈ 0.55). Calibrated so the aggregate
+            // job-weighted failure probability lands near the paper's
+            // ≈26% once scale/task multipliers apply.
+            let careful = rng.gen::<f64>() < 0.8;
+            let bug_rate = if careful {
+                0.05 + 0.24 * rng.gen::<f64>()
+            } else {
+                0.35 + 0.40 * rng.gen::<f64>()
+            };
+            let size_shift = match rng.gen_range(0..100) {
+                0..=19 => -1,
+                20..=74 => 0,
+                75..=92 => 1,
+                _ => 2,
+            };
+            let walltime_mult = 0.5 + 1.5 * rng.gen::<f64>();
+            // Per-user failure-mode mix: global weights perturbed by a
+            // random factor, so each user has a signature error type.
+            let global = crate::catalog::failure_modes();
+            let mut mode_mix: Vec<f64> = global
+                .iter()
+                .map(|m| m.weight * (0.25 + 1.5 * rng.gen::<f64>()))
+                .collect();
+            let total: f64 = mode_mix.iter().sum();
+            for w in &mut mode_mix {
+                *w /= total;
+            }
+            debug_assert_eq!(mode_mix.len(), n_modes);
+            users.push(UserProfile {
+                user: UserId::new(i),
+                project: ProjectId::new(i % config.n_projects),
+                activity,
+                bug_rate,
+                size_shift,
+                walltime_mult,
+                mode_mix,
+            });
+        }
+        // Shuffle activity so that low ids are not always the heavy hitters.
+        for i in (1..users.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            let tmp = users[i].activity;
+            users[i].activity = users[j].activity;
+            users[j].activity = tmp;
+        }
+        let mut cumulative = Vec::with_capacity(users.len());
+        let mut acc = 0.0;
+        for u in &users {
+            acc += u.activity;
+            cumulative.push(acc);
+        }
+        Population { users, cumulative }
+    }
+
+    /// Number of users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// `true` if the population is empty (never after `generate`).
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// All user profiles.
+    pub fn users(&self) -> &[UserProfile] {
+        &self.users
+    }
+
+    /// Samples a user proportionally to activity.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &UserProfile {
+        let total = *self.cumulative.last().expect("population is nonempty");
+        let x = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c < x);
+        &self.users[idx.min(self.users.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pop() -> Population {
+        let mut rng = StdRng::seed_from_u64(1);
+        Population::generate(&SimConfig::small(10), &mut rng)
+    }
+
+    #[test]
+    fn population_has_configured_size() {
+        let p = pop();
+        assert_eq!(p.len(), 120);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn projects_cover_range_and_users_map_deterministically() {
+        let p = pop();
+        for u in p.users() {
+            assert!(u.project.raw() < 40);
+            assert_eq!(u.project.raw(), u.user.raw() % 40);
+        }
+    }
+
+    #[test]
+    fn bug_rates_are_probabilities_and_bimodal() {
+        let p = pop();
+        let mut high = 0;
+        for u in p.users() {
+            assert!((0.0..1.0).contains(&u.bug_rate), "rate {}", u.bug_rate);
+            if u.bug_rate > 0.35 {
+                high += 1;
+            }
+        }
+        // Roughly 20% failure-prone (generous bounds for a 120-user draw).
+        assert!((10..=40).contains(&high), "{high} failure-prone users");
+    }
+
+    #[test]
+    fn mode_mix_is_normalized() {
+        let p = pop();
+        for u in p.users() {
+            let total: f64 = u.mode_mix.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_activity_weights() {
+        let p = pop();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; p.len()];
+        for _ in 0..60_000 {
+            counts[p.sample(&mut rng).user.raw() as usize] += 1;
+        }
+        // The most active user should be sampled far more often than the
+        // least active.
+        let max_w = p
+            .users()
+            .iter()
+            .max_by(|a, b| a.activity.partial_cmp(&b.activity).unwrap())
+            .unwrap();
+        let min_w = p
+            .users()
+            .iter()
+            .min_by(|a, b| a.activity.partial_cmp(&b.activity).unwrap())
+            .unwrap();
+        let cmax = counts[max_w.user.raw() as usize];
+        let cmin = counts[min_w.user.raw() as usize];
+        assert!(cmax > cmin * 5, "max {cmax} vs min {cmin}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let cfg = SimConfig::small(5);
+        let a = Population::generate(&cfg, &mut rng1);
+        let b = Population::generate(&cfg, &mut rng2);
+        assert_eq!(a.users(), b.users());
+    }
+}

@@ -1,0 +1,346 @@
+//! Job arrival and job attribute generation.
+//!
+//! Arrivals follow a nonhomogeneous Poisson process with diurnal and
+//! weekly modulation. Each arrival samples its owner from the Zipf
+//! population and derives size, mode, wall time, task count, and — key for
+//! the reproduction — a *planned outcome*: success with some fraction of
+//! the request used, or a user failure whose time-to-failure is drawn from
+//! the exit code's ground-truth law.
+
+use bgq_model::job::{Mode, Queue};
+use bgq_model::time::{Span, Timestamp, SECS_PER_HOUR};
+use rand::Rng;
+
+use crate::catalog::{exit_code, failure_modes, FailureMode};
+use crate::config::SimConfig;
+use crate::users::{Population, UserProfile};
+
+/// What a job will do once started (system kills override this later).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlannedOutcome {
+    /// Runs for `runtime_s`, exits 0.
+    Success {
+        /// Planned execution length in seconds.
+        runtime_s: u32,
+    },
+    /// Fails with `code` after `runtime_s` (walltime kills included).
+    UserFailure {
+        /// Exit code from the failure-mode catalog.
+        code: i32,
+        /// Planned execution length in seconds.
+        runtime_s: u32,
+    },
+}
+
+/// A job as submitted (before scheduling).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Submission time.
+    pub queued_at: Timestamp,
+    /// Index of the submitting user in the population.
+    pub user_idx: usize,
+    /// Requested size in midplanes (power of two, clamped to the machine).
+    pub midplanes: u16,
+    /// Ranks-per-node mode.
+    pub mode: Mode,
+    /// Requested wall time in seconds.
+    pub walltime_s: u32,
+    /// Number of `runjob` tasks the script will launch.
+    pub num_tasks: u32,
+    /// Queue (derived from size and wall time).
+    pub queue: Queue,
+    /// Planned outcome.
+    pub outcome: PlannedOutcome,
+}
+
+impl JobSpec {
+    /// The planned execution length in seconds (ignoring system kills).
+    pub fn planned_runtime_s(&self) -> u32 {
+        match self.outcome {
+            PlannedOutcome::Success { runtime_s } | PlannedOutcome::UserFailure { runtime_s, .. } => {
+                runtime_s
+            }
+        }
+    }
+
+    /// Nodes requested (midplanes × 512).
+    pub fn nodes(&self) -> u32 {
+        u32::from(self.midplanes) * 512
+    }
+}
+
+/// Hourly arrival-rate multiplier (UTC hour): quiet nights, afternoon peak.
+pub fn diurnal_factor(hour: u32) -> f64 {
+    const TABLE: [f64; 24] = [
+        0.65, 0.60, 0.55, 0.55, 0.60, 0.65, 0.75, 0.90, 1.10, 1.25, 1.35, 1.40, 1.40, 1.45, 1.45,
+        1.40, 1.30, 1.20, 1.10, 1.00, 0.90, 0.85, 0.75, 0.70,
+    ];
+    TABLE[hour as usize % 24]
+}
+
+/// Day-of-week arrival multiplier (`0 = Monday`): weekends are quieter.
+pub fn weekly_factor(dow: u32) -> f64 {
+    const TABLE: [f64; 7] = [1.10, 1.12, 1.12, 1.10, 1.05, 0.78, 0.73];
+    TABLE[dow as usize % 7]
+}
+
+/// Common Cobalt wall-time requests (seconds) with their base weights.
+const WALLTIMES: [(u32, f64); 8] = [
+    (1_800, 0.06),
+    (3_600, 0.22),
+    (7_200, 0.22),
+    (10_800, 0.16),
+    (14_400, 0.12),
+    (21_600, 0.12),
+    (43_200, 0.07),
+    (86_400, 0.03),
+];
+
+fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u32 {
+    // Knuth's method is fine for the small means used here.
+    let l = (-mean).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Generates the full arrival list for the horizon, sorted by submit time.
+pub fn generate_arrivals<R: Rng + ?Sized>(
+    config: &SimConfig,
+    population: &Population,
+    rng: &mut R,
+) -> Vec<JobSpec> {
+    let modes = failure_modes();
+    let hourly_base = config.jobs_per_day / 24.0;
+    let mut specs = Vec::new();
+    for day in 0..config.days {
+        let day_start = config.origin + Span::from_days(i64::from(day));
+        let dow = day_start.day_of_week();
+        for hour in 0..24u32 {
+            let rate = hourly_base * diurnal_factor(hour) * weekly_factor(dow);
+            let n = sample_poisson(rng, rate);
+            for _ in 0..n {
+                let offset = rng.gen_range(0..SECS_PER_HOUR);
+                let queued_at =
+                    day_start + Span::from_secs(i64::from(hour) * SECS_PER_HOUR + offset);
+                let user = population.sample(rng);
+                let user_idx = user.user.raw() as usize;
+                specs.push(make_spec(config, user, user_idx, queued_at, &modes, rng));
+            }
+        }
+    }
+    specs.sort_by_key(|s| s.queued_at);
+    specs
+}
+
+/// Builds one job spec for `user` submitted at `queued_at`.
+pub fn make_spec<R: Rng + ?Sized>(
+    config: &SimConfig,
+    user: &UserProfile,
+    user_idx: usize,
+    queued_at: Timestamp,
+    modes: &[FailureMode],
+    rng: &mut R,
+) -> JobSpec {
+    let max_midplanes = config.machine.total_midplanes() as u16;
+    // Size class: global weights shifted by the user's preference.
+    let class = sample_weighted(rng, &config.size_weights) as i32 + user.size_shift;
+    let mut class = class.clamp(0, (config.size_weights.len() - 1) as i32) as u32;
+    // Full-machine runs are special occasions even for capability users;
+    // damp the shift-induced pile-up at the top class.
+    if class == (config.size_weights.len() - 1) as u32 && rng.gen::<f64>() < 0.7 {
+        class -= 1;
+    }
+    let midplanes = (1u32 << class).min(u32::from(max_midplanes)) as u16;
+
+    let mode = *[
+        Mode::new(8).expect("static"),
+        Mode::new(16).expect("static"),
+        Mode::new(16).expect("static"),
+        Mode::new(32).expect("static"),
+        Mode::new(64).expect("static"),
+    ]
+    .get(rng.gen_range(0..5))
+    .expect("in range");
+
+    let (base_wt, _) = WALLTIMES[sample_weighted(rng, &WALLTIMES.map(|(_, w)| w))];
+    let walltime_s = ((base_wt as f64 * user.walltime_mult) as u32)
+        .clamp(1_800, 86_400)
+        / 900
+        * 900; // round down to 15-minute granularity
+
+    let num_tasks = 1 + sample_poisson(rng, 1.0);
+
+    let queue = if midplanes >= 16 {
+        Queue::Capability
+    } else if walltime_s <= 3_600 && midplanes <= 2 && rng.gen::<f64>() < 0.3 {
+        Queue::Debug
+    } else {
+        Queue::Production
+    };
+
+    // Failure decision: intrinsic rate × scale boost × task boost.
+    let scale_mult = 1.0 + 0.13 * f64::from(class);
+    let task_mult = 1.0 + 0.08 * f64::from(num_tasks - 1);
+    let p_fail = (user.bug_rate * scale_mult * task_mult * config.failure_scale).min(0.9);
+
+    let outcome = if rng.gen::<f64>() < p_fail {
+        let mode_idx = sample_weighted(rng, &user.mode_mix);
+        let mode_entry = &modes[mode_idx];
+        match &mode_entry.length_dist {
+            None => PlannedOutcome::UserFailure {
+                code: exit_code::WALLTIME,
+                runtime_s: walltime_s,
+            },
+            Some(dist) => {
+                let len = dist.sample(rng).max(1.0) as u32;
+                if len >= walltime_s {
+                    // Ran into the walltime limit before the bug could
+                    // manifest: the scheduler's SIGTERM wins.
+                    PlannedOutcome::UserFailure {
+                        code: exit_code::WALLTIME,
+                        runtime_s: walltime_s,
+                    }
+                } else {
+                    PlannedOutcome::UserFailure {
+                        code: mode_entry.exit_code,
+                        runtime_s: len,
+                    }
+                }
+            }
+        }
+    } else {
+        let frac = 0.55 + 0.40 * rng.gen::<f64>();
+        PlannedOutcome::Success {
+            runtime_s: ((walltime_s as f64 * frac) as u32).max(60),
+        }
+    };
+
+    JobSpec {
+        queued_at,
+        user_idx,
+        midplanes,
+        mode,
+        walltime_s,
+        num_tasks,
+        queue,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (SimConfig, Population, StdRng) {
+        let cfg = SimConfig::small(14);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = Population::generate(&cfg, &mut rng);
+        (cfg, pop, rng)
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_in_horizon() {
+        let (cfg, pop, mut rng) = setup();
+        let specs = generate_arrivals(&cfg, &pop, &mut rng);
+        assert!(!specs.is_empty());
+        assert!(specs.windows(2).all(|w| w[0].queued_at <= w[1].queued_at));
+        for s in &specs {
+            assert!(s.queued_at >= cfg.origin && s.queued_at < cfg.horizon_end());
+        }
+    }
+
+    #[test]
+    fn arrival_volume_matches_rate() {
+        let (cfg, pop, mut rng) = setup();
+        let specs = generate_arrivals(&cfg, &pop, &mut rng);
+        let expected = cfg.jobs_per_day * f64::from(cfg.days);
+        let got = specs.len() as f64;
+        // Diurnal/weekly factors average near 1; Poisson noise is small at
+        // this volume.
+        assert!(
+            (got - expected).abs() < expected * 0.15,
+            "got {got}, expected ≈ {expected}"
+        );
+    }
+
+    #[test]
+    fn sizes_are_powers_of_two_within_machine() {
+        let (cfg, pop, mut rng) = setup();
+        for s in generate_arrivals(&cfg, &pop, &mut rng) {
+            assert!(s.midplanes.is_power_of_two() || s.midplanes == 96);
+            assert!(s.midplanes as usize <= cfg.machine.total_midplanes());
+            assert_eq!(s.nodes(), u32::from(s.midplanes) * 512);
+        }
+    }
+
+    #[test]
+    fn walltimes_are_bounded_and_quantized() {
+        let (cfg, pop, mut rng) = setup();
+        for s in generate_arrivals(&cfg, &pop, &mut rng) {
+            assert!((1_800..=86_400).contains(&s.walltime_s));
+            assert_eq!(s.walltime_s % 900, 0);
+            assert!(s.planned_runtime_s() <= s.walltime_s);
+        }
+    }
+
+    #[test]
+    fn failure_fraction_is_near_calibration() {
+        let (cfg, pop, mut rng) = setup();
+        let specs = generate_arrivals(&cfg, &pop, &mut rng);
+        let failures = specs
+            .iter()
+            .filter(|s| matches!(s.outcome, PlannedOutcome::UserFailure { .. }))
+            .count();
+        let rate = failures as f64 / specs.len() as f64;
+        assert!(
+            (0.18..0.42).contains(&rate),
+            "user-failure rate {rate} out of calibration band"
+        );
+    }
+
+    #[test]
+    fn walltime_failures_run_exactly_the_request() {
+        let (cfg, pop, mut rng) = setup();
+        for s in generate_arrivals(&cfg, &pop, &mut rng) {
+            if let PlannedOutcome::UserFailure { code, runtime_s } = s.outcome {
+                if code == exit_code::WALLTIME {
+                    assert_eq!(runtime_s, s.walltime_s);
+                } else {
+                    assert!(runtime_s < s.walltime_s);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diurnal_and_weekly_factors_average_near_one() {
+        let d: f64 = (0..24).map(diurnal_factor).sum::<f64>() / 24.0;
+        let w: f64 = (0..7).map(weekly_factor).sum::<f64>() / 7.0;
+        assert!((d - 1.0).abs() < 0.05, "diurnal mean {d}");
+        assert!((w - 1.0).abs() < 0.05, "weekly mean {w}");
+    }
+}

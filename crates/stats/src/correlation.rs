@@ -1,0 +1,164 @@
+//! Correlation coefficients.
+//!
+//! The paper reports Pearson correlations between RAS-event counts and
+//! per-user/per-project metrics, and rank correlations for monotone
+//! relationships (failure rate vs scale). Both are implemented with tie
+//! handling.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` if the samples differ in length, have fewer than two
+/// points, or either is constant.
+///
+/// # Examples
+///
+/// ```
+/// use bgq_stats::correlation::pearson;
+///
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Mid-ranks of a sample (average rank for ties), 1-based.
+fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("finite values"));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks, so ties are handled
+/// exactly).
+///
+/// Returns `None` under the same conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Kendall's τ-b rank correlation (tie-corrected), `O(n²)`.
+///
+/// Returns `None` for mismatched lengths, fewer than two points, or when
+/// either sample is entirely tied.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len();
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_x, mut ties_y) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            if dx == 0.0 && dy == 0.0 {
+                ties_x += 1;
+                ties_y += 1;
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let total = (n * (n - 1) / 2) as f64;
+    let denom = ((total - ties_x as f64) * (total - ties_y as f64)).sqrt();
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(((concordant - discordant) as f64 / denom).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 7.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = x.iter().map(|v| -v).collect();
+        assert!((pearson(&x, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_captures_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for convex growth.
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ties_get_mid_ranks() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+        assert!(spearman(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+        assert!(kendall_tau(&[2.0, 2.0], &[1.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn kendall_known_value() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 3.0, 2.0, 5.0, 4.0];
+        // 8 concordant, 2 discordant → τ = 0.6.
+        assert!((kendall_tau(&x, &y).unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_symmetric_data() {
+        let x = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        let y = [4.0, 1.0, 0.0, 1.0, 4.0]; // y = x², even function
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+}

@@ -1,0 +1,124 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over a sorted copy of the data.
+///
+/// # Examples
+///
+/// ```
+/// use bgq_stats::ecdf::Ecdf;
+///
+/// let e = Ecdf::new(&[3.0, 1.0, 2.0]);
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(1.0), 1.0 / 3.0);
+/// assert_eq!(e.eval(2.5), 2.0 / 3.0);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from the data; non-finite values are dropped.
+    pub fn new(data: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ecdf { sorted }
+    }
+
+    /// Number of (finite) observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` if the ECDF holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)`: fraction of observations `≤ x`; `0` for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) by the nearest-rank method; `None`
+    /// for an empty ECDF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1]");
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.sorted[idx])
+    }
+
+    /// The sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The evaluation points `(x, F̂(x))` of the step function, one per
+    /// observation (using the right-continuous convention).
+    pub fn steps(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(move |(i, &x)| (x, (i + 1) as f64 / n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_duplicates() {
+        let e = Ecdf::new(&[1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert_eq!(e.eval(1.0), 0.4);
+        assert_eq!(e.eval(2.0), 1.0);
+        assert_eq!(e.eval(1.5), 0.4);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let e = Ecdf::new(&[f64::NAN, 1.0, f64::INFINITY]);
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(0.25), Some(10.0));
+        assert_eq!(e.quantile(0.5), Some(20.0));
+        assert_eq!(e.quantile(0.75), Some(30.0));
+        assert_eq!(e.quantile(1.0), Some(40.0));
+        assert_eq!(Ecdf::new(&[]).quantile(0.5), None);
+    }
+
+    #[test]
+    fn steps_cover_unit_interval() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]);
+        let steps: Vec<_> = e.steps().collect();
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0], (1.0, 1.0 / 3.0));
+        assert_eq!(steps[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn empty_is_safe() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(0.0), 0.0);
+    }
+}

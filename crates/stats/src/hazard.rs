@@ -1,0 +1,170 @@
+//! Hazard-rate estimation.
+//!
+//! Failure-time analysis often needs the *hazard* (instantaneous failure
+//! rate given survival) rather than the density: an increasing hazard
+//! means wear-out, a decreasing one infant mortality. The shapes the paper
+//! fits imply specific hazards (Weibull shape < 1 ⇒ decreasing), and the
+//! lifetime-evolution analysis (experiment E15) uses the empirical hazard
+//! to corroborate the fitted families.
+
+use crate::ecdf::Ecdf;
+
+/// The Nelson–Aalen estimator of the cumulative hazard `H(t)` for
+/// (optionally right-censored) failure times.
+///
+/// `observations` are `(time, observed)` pairs: `observed = true` for an
+/// actual failure, `false` for a right-censored time (the subject left the
+/// study still alive — e.g. a job that hit the wall-time limit).
+///
+/// Returns the step points `(t, H(t))` at each distinct failure time, in
+/// ascending order. Empty when no failures were observed.
+pub fn nelson_aalen(observations: &[(f64, bool)]) -> Vec<(f64, f64)> {
+    let mut obs: Vec<(f64, bool)> = observations
+        .iter()
+        .copied()
+        .filter(|(t, _)| t.is_finite() && *t >= 0.0)
+        .collect();
+    obs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+    let n = obs.len();
+    let mut out = Vec::new();
+    let mut h = 0.0;
+    let mut i = 0;
+    while i < n {
+        let t = obs[i].0;
+        // Events and censorings at exactly t; risk set = everyone still
+        // under observation at t⁻.
+        let at_risk = n - i;
+        let mut deaths = 0usize;
+        let mut j = i;
+        while j < n && obs[j].0 == t {
+            deaths += usize::from(obs[j].1);
+            j += 1;
+        }
+        if deaths > 0 {
+            h += deaths as f64 / at_risk as f64;
+            out.push((t, h));
+        }
+        i = j;
+    }
+    out
+}
+
+/// Empirical hazard rate in fixed-width bins: for bin `[a, b)`,
+/// `h ≈ d / (r · Δ)` where `d` is the number of failures in the bin, `r`
+/// the number at risk at the bin start, and `Δ` the bin width.
+///
+/// Returns `(bin_start, hazard)` for every bin with a nonzero risk set.
+///
+/// # Panics
+///
+/// Panics if `width` is not positive or `bins` is zero.
+pub fn binned_hazard(times: &[f64], width: f64, bins: usize) -> Vec<(f64, f64)> {
+    assert!(width > 0.0, "bin width must be positive");
+    assert!(bins > 0, "need at least one bin");
+    let ecdf = Ecdf::new(times);
+    let n = ecdf.len() as f64;
+    if n == 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(bins);
+    for i in 0..bins {
+        let a = i as f64 * width;
+        let b = a + width;
+        let at_risk = n * (1.0 - ecdf.eval(a - f64::EPSILON * a.abs().max(1.0)));
+        if at_risk <= 0.0 {
+            break;
+        }
+        let deaths = n * (ecdf.eval(b - 1e-9) - ecdf.eval(a - 1e-9));
+        out.push((a, deaths / (at_risk * width)));
+    }
+    out
+}
+
+/// Classifies the empirical hazard trend: returns the slope sign of a
+/// least-squares line through the binned hazard (`> 0` wear-out,
+/// `< 0` infant mortality, `≈ 0` memoryless). `None` with fewer than three
+/// usable bins.
+pub fn hazard_trend(times: &[f64], width: f64, bins: usize) -> Option<f64> {
+    let pts = binned_hazard(times, width, bins);
+    if pts.len() < 3 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let mx = pts.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pts.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxy: f64 = pts.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    let sxx: f64 = pts.iter().map(|p| (p.0 - mx).powi(2)).sum();
+    (sxx > 0.0).then(|| sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::Dist;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nelson_aalen_textbook_case() {
+        // Times 1, 2, 3 all observed: H = 1/3, 1/3+1/2, 1/3+1/2+1.
+        let obs = [(1.0, true), (2.0, true), (3.0, true)];
+        let h = nelson_aalen(&obs);
+        assert_eq!(h.len(), 3);
+        assert!((h[0].1 - 1.0 / 3.0).abs() < 1e-12);
+        assert!((h[1].1 - (1.0 / 3.0 + 0.5)).abs() < 1e-12);
+        assert!((h[2].1 - (1.0 / 3.0 + 0.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censoring_shrinks_the_risk_set_without_adding_jumps() {
+        // Censored at 1.5: the death at 2 sees a risk set of 2, the death
+        // at 3 a risk set of 1.
+        let obs = [(1.0, true), (1.5, false), (2.0, true), (3.0, true)];
+        let h = nelson_aalen(&obs);
+        assert_eq!(h.len(), 3);
+        assert!((h[1].1 - (0.25 + 0.5)).abs() < 1e-12);
+        assert!((h[2].1 - (0.25 + 0.5 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nelson_aalen_estimates_exponential_cumulative_hazard() {
+        // For Exp(λ), H(t) = λt.
+        let mut rng = StdRng::seed_from_u64(1);
+        let lambda = 0.05;
+        let times: Vec<(f64, bool)> = Dist::exponential(lambda)
+            .unwrap()
+            .sample_n(&mut rng, 5000)
+            .into_iter()
+            .map(|t| (t, true))
+            .collect();
+        let h = nelson_aalen(&times);
+        // Check at a mid quantile (t = 20 ⇒ H = 1).
+        let at = h.iter().find(|(t, _)| *t >= 20.0).unwrap();
+        assert!((at.1 - lambda * at.0).abs() < 0.1, "H({}) = {}", at.0, at.1);
+    }
+
+    #[test]
+    fn exponential_hazard_is_flat() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let times = Dist::exponential(0.01).unwrap().sample_n(&mut rng, 20_000);
+        let slope = hazard_trend(&times, 20.0, 10).unwrap();
+        assert!(slope.abs() < 2e-6, "slope {slope}");
+    }
+
+    #[test]
+    fn weibull_hazard_trends_match_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let decreasing = Dist::weibull(0.6, 100.0).unwrap().sample_n(&mut rng, 20_000);
+        assert!(hazard_trend(&decreasing, 20.0, 10).unwrap() < 0.0);
+        let increasing = Dist::weibull(2.5, 100.0).unwrap().sample_n(&mut rng, 20_000);
+        assert!(hazard_trend(&increasing, 20.0, 10).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(nelson_aalen(&[]).is_empty());
+        assert!(nelson_aalen(&[(1.0, false)]).is_empty());
+        assert!(binned_hazard(&[], 1.0, 5).is_empty());
+        assert!(hazard_trend(&[1.0, 2.0], 1.0, 2).is_none());
+    }
+}

@@ -1,0 +1,326 @@
+//! Fixed-bin histograms (linear and logarithmic).
+//!
+//! Figures in the paper bucket jobs by scale, runtime, and core-hours —
+//! typically on log axes given the heavy tails. These histograms are the
+//! backing structure for those figures and for the experiment harness's
+//! text output.
+
+use std::fmt;
+
+/// Edge layout of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+enum Edges {
+    /// `lo + i*width` linear bins.
+    Linear { lo: f64, width: f64, bins: usize },
+    /// `lo * ratio^i` geometric bins.
+    Log { lo: f64, ratio: f64, bins: usize },
+    /// Arbitrary ascending edges (n+1 edges for n bins).
+    Explicit(Vec<f64>),
+}
+
+/// A histogram with predeclared bins plus underflow/overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use bgq_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::linear(0.0, 10.0, 5)?;
+/// for v in [1.0, 3.0, 3.5, 9.9, -1.0, 42.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(0), 1); // [0,2)
+/// assert_eq!(h.count(1), 2); // [2,4)
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// # Ok::<(), bgq_stats::histogram::HistogramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Edges,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+/// Error produced for invalid histogram construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistogramError {
+    /// Zero bins requested.
+    NoBins,
+    /// Bounds are not strictly increasing / positive where required.
+    BadBounds,
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::NoBins => f.write_str("histogram needs at least one bin"),
+            HistogramError::BadBounds => f.write_str("histogram bounds must be increasing (and positive for log bins)"),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+impl Histogram {
+    /// `bins` equal-width bins covering `[lo, hi)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bins == 0` or `hi <= lo`.
+    pub fn linear(lo: f64, hi: f64, bins: usize) -> Result<Self, HistogramError> {
+        if bins == 0 {
+            return Err(HistogramError::NoBins);
+        }
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) || !lo.is_finite() || !hi.is_finite() {
+            return Err(HistogramError::BadBounds);
+        }
+        Ok(Histogram {
+            edges: Edges::Linear {
+                lo,
+                width: (hi - lo) / bins as f64,
+                bins,
+            },
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// `bins` geometric bins covering `[lo, hi)` with constant ratio.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bins == 0` or `0 < lo < hi` does not hold.
+    pub fn log(lo: f64, hi: f64, bins: usize) -> Result<Self, HistogramError> {
+        if bins == 0 {
+            return Err(HistogramError::NoBins);
+        }
+        if lo <= 0.0 || hi <= lo || !hi.is_finite() {
+            return Err(HistogramError::BadBounds);
+        }
+        Ok(Histogram {
+            edges: Edges::Log {
+                lo,
+                ratio: (hi / lo).powf(1.0 / bins as f64),
+                bins,
+            },
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Bins with explicit ascending `edges` (n+1 edges → n bins).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for fewer than 2 edges or non-ascending edges.
+    pub fn with_edges(edges: Vec<f64>) -> Result<Self, HistogramError> {
+        if edges.len() < 2 {
+            return Err(HistogramError::NoBins);
+        }
+        if edges.windows(2).any(|w| w[1].partial_cmp(&w[0]) != Some(std::cmp::Ordering::Greater)) {
+            return Err(HistogramError::BadBounds);
+        }
+        let bins = edges.len() - 1;
+        Ok(Histogram {
+            edges: Edges::Explicit(edges),
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Number of bins (excluding under/overflow).
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        self.add_n(value, 1);
+    }
+
+    /// Adds `n` identical observations.
+    pub fn add_n(&mut self, value: f64, n: u64) {
+        if !value.is_finite() {
+            return;
+        }
+        match self.bin_index(value) {
+            BinIndex::Under => self.underflow += n,
+            BinIndex::Over => self.overflow += n,
+            BinIndex::In(i) => self.counts[i] += n,
+        }
+    }
+
+    fn bin_index(&self, value: f64) -> BinIndex {
+        match &self.edges {
+            Edges::Linear { lo, width, bins } => {
+                if value < *lo {
+                    BinIndex::Under
+                } else {
+                    let i = ((value - lo) / width) as usize;
+                    if i >= *bins {
+                        BinIndex::Over
+                    } else {
+                        BinIndex::In(i)
+                    }
+                }
+            }
+            Edges::Log { lo, ratio, bins } => {
+                if value < *lo {
+                    BinIndex::Under
+                } else {
+                    let i = ((value / lo).ln() / ratio.ln()) as usize;
+                    if i >= *bins {
+                        BinIndex::Over
+                    } else {
+                        BinIndex::In(i)
+                    }
+                }
+            }
+            Edges::Explicit(edges) => {
+                if value < edges[0] {
+                    BinIndex::Under
+                } else if value >= *edges.last().expect("nonempty") {
+                    BinIndex::Over
+                } else {
+                    // partition_point gives the first edge > value.
+                    BinIndex::In(edges.partition_point(|&e| e <= value) - 1)
+                }
+            }
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Observations below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(lo, hi)` bounds of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bins()`.
+    pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins(), "bin index out of range");
+        match &self.edges {
+            Edges::Linear { lo, width, .. } => {
+                (lo + i as f64 * width, lo + (i as f64 + 1.0) * width)
+            }
+            Edges::Log { lo, ratio, .. } => {
+                (lo * ratio.powi(i as i32), lo * ratio.powi(i as i32 + 1))
+            }
+            Edges::Explicit(edges) => (edges[i], edges[i + 1]),
+        }
+    }
+
+    /// Iterates `(lo, hi, count)` over the bins.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins()).map(move |i| {
+            let (lo, hi) = self.bin_bounds(i);
+            (lo, hi, self.counts[i])
+        })
+    }
+}
+
+enum BinIndex {
+    Under,
+    In(usize),
+    Over,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::linear(0.0, 100.0, 10).unwrap();
+        h.add(0.0);
+        h.add(9.999);
+        h.add(10.0);
+        h.add(99.999);
+        h.add(100.0);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn log_binning_decade_bins() {
+        let mut h = Histogram::log(1.0, 10_000.0, 4).unwrap();
+        for v in [1.5, 15.0, 150.0, 1500.0, 0.5, 20_000.0] {
+            h.add(v);
+        }
+        for i in 0..4 {
+            assert_eq!(h.count(i), 1, "bin {i}");
+        }
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        let (lo, hi) = h.bin_bounds(1);
+        assert!((lo - 10.0).abs() < 1e-9 && (hi - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_edges() {
+        let mut h = Histogram::with_edges(vec![0.0, 1.0, 10.0, 100.0]).unwrap();
+        h.add(0.5);
+        h.add(5.0);
+        h.add(99.0);
+        h.add(1.0); // falls in [1, 10)
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 2);
+        assert_eq!(h.count(2), 1);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(Histogram::linear(0.0, 1.0, 0), Err(HistogramError::NoBins));
+        assert_eq!(Histogram::linear(1.0, 1.0, 3), Err(HistogramError::BadBounds));
+        assert_eq!(Histogram::log(0.0, 1.0, 3), Err(HistogramError::BadBounds));
+        assert_eq!(
+            Histogram::with_edges(vec![0.0, 0.0, 1.0]),
+            Err(HistogramError::BadBounds)
+        );
+        assert_eq!(Histogram::with_edges(vec![1.0]), Err(HistogramError::NoBins));
+    }
+
+    #[test]
+    fn nan_is_ignored() {
+        let mut h = Histogram::linear(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn add_n_bulk() {
+        let mut h = Histogram::linear(0.0, 10.0, 2).unwrap();
+        h.add_n(1.0, 100);
+        assert_eq!(h.count(0), 100);
+        assert_eq!(h.total(), 100);
+    }
+}

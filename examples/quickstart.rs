@@ -1,0 +1,62 @@
+//! Quickstart: generate a synthetic Mira trace, run the full analysis,
+//! and print the headline numbers plus the first takeaways.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mira_failures::core::analysis::Analysis;
+use mira_failures::core::report::{group_thousands, percent};
+use mira_failures::core::takeaways::takeaways;
+use mira_failures::sim::{generate, SimConfig};
+
+fn main() {
+    // A 60-day trace is enough to see every phenomenon the paper reports.
+    let config = SimConfig::small(60).with_seed(2024);
+    println!("generating {} days of synthetic Mira logs ...", config.days);
+    let out = generate(&config);
+    let ds = &out.dataset;
+    println!(
+        "  {} jobs, {} RAS events, {} tasks, {} I/O profiles",
+        group_thousands(ds.jobs.len() as u64),
+        group_thousands(ds.ras.len() as u64),
+        group_thousands(ds.tasks.len() as u64),
+        group_thousands(ds.io.len() as u64),
+    );
+
+    println!("running the joint analysis ...");
+    let analysis = Analysis::run(ds);
+
+    let totals = analysis.totals.as_ref().expect("nonempty trace");
+    println!();
+    println!("== headline numbers =====================================");
+    println!(
+        "jobs: {}   failed: {} ({})",
+        group_thousands(totals.jobs as u64),
+        group_thousands(totals.failed_jobs as u64),
+        percent(totals.failed_jobs as f64 / totals.jobs as f64),
+    );
+    println!(
+        "core-hours: {:.3e}   users: {}   projects: {}",
+        totals.core_hours, totals.users, totals.projects
+    );
+    if let Some(share) = analysis.user_caused_share {
+        println!("user-caused failures: {}", percent(share));
+    }
+    if let Some(mtti) = analysis.interruptions.mtti_days {
+        println!("mean time to interruption: {mtti:.2} days");
+    }
+    println!(
+        "event filter: {} raw FATAL records -> {} incidents",
+        group_thousands(analysis.filter.raw_fatal as u64),
+        analysis.filter.after_similarity
+    );
+
+    println!();
+    println!("== first five takeaways =================================");
+    for t in takeaways(&analysis).iter().take(5) {
+        println!("[T{:02}] {}", t.id, t.statement);
+    }
+    println!();
+    println!("(see `mira-mine report` and the bgq-bench experiments for the rest)");
+}

@@ -1,0 +1,29 @@
+//! `mira-failures` — reproduction of *Characterizing and Understanding HPC
+//! Job Failures Over The 2K-Day Life of IBM BlueGene/Q System* (DSN 2019).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`model`] (`bgq-model`) — machine topology and log schemas;
+//! * [`stats`] (`bgq-stats`) — distributions, fitting, goodness-of-fit;
+//! * [`logs`] (`bgq-logs`) — persistence, interval index, job↔RAS join;
+//! * [`sim`] (`bgq-sim`) — the synthetic Mira log generator;
+//! * [`core`] (`bgq-core`) — the failure-mining analyses and takeaways.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mira_failures::core::analysis::Analysis;
+//! use mira_failures::sim::{generate, SimConfig};
+//!
+//! // Generate a small synthetic Mira trace and characterize it.
+//! let out = generate(&SimConfig::small(5).with_seed(1));
+//! let analysis = Analysis::run(&out.dataset);
+//! let totals = analysis.totals.as_ref().expect("nonempty trace");
+//! println!("{} jobs, {:.2e} core-hours", totals.jobs, totals.core_hours);
+//! ```
+
+pub use bgq_core as core;
+pub use bgq_logs as logs;
+pub use bgq_model as model;
+pub use bgq_sim as sim;
+pub use bgq_stats as stats;
