@@ -5,10 +5,71 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use bgq_core::analysis::Analysis;
+use bgq_core::analysis::{Analysis, MIN_FIT_SAMPLES};
+use bgq_core::failure_rates::{by_consumed_core_hours, by_core_hours, by_scale, by_tasks};
+use bgq_core::filtering::{filter_events, interruption_stats, FilterConfig};
+use bgq_core::fitting::{fit_by_class, fit_interruption_intervals};
+use bgq_core::io_analysis::io_outcome_stats;
+use bgq_core::jobstats::{
+    class_breakdown, per_project, per_user, size_mix, user_caused_share, DatasetTotals,
+    TemporalProfile,
+};
+use bgq_core::lifetime::lifetime_series;
+use bgq_core::locality::{locality_map, Level};
+use bgq_core::prediction::{predict_and_evaluate, PredictorConfig};
+use bgq_core::queueing::{mean_utilization, waits_by_queue, waits_by_size};
+use bgq_core::ras_analysis::{breakdown, user_event_correlation};
 use bgq_logs::join::{attribute_events, attribute_events_brute};
+use bgq_logs::store::Dataset;
 use bgq_model::Severity;
 use bgq_sim::{generate, SimConfig};
+
+/// The pre-`DatasetIndex` pipeline, reconstructed stage by stage: every
+/// analysis calls the plain slice functions directly, so exit classes
+/// are re-derived per stage, the RAS↔job join runs once per consumer,
+/// and nothing overlaps. Wrapped in `with_max_threads(1, ..)` because
+/// the seed had no parallel combinators either — this is the "before"
+/// in the before/after comparison.
+fn analysis_preindex(ds: &Dataset) -> Analysis {
+    bgq_par::with_max_threads(1, || {
+        let filter = filter_events(&ds.ras, &FilterConfig::default());
+        let prediction =
+            predict_and_evaluate(&ds.ras, &filter.incidents, &PredictorConfig::default());
+        Analysis {
+            totals: DatasetTotals::compute(&ds.jobs),
+            size_mix: size_mix(&ds.jobs),
+            per_user: per_user(&ds.jobs),
+            per_project: per_project(&ds.jobs),
+            class_breakdown: class_breakdown(&ds.jobs),
+            user_caused_share: user_caused_share(&ds.jobs),
+            rate_by_scale: by_scale(&ds.jobs),
+            rate_by_tasks: by_tasks(&ds.jobs),
+            rate_by_core_hours: by_core_hours(&ds.jobs),
+            rate_by_consumed_core_hours: by_consumed_core_hours(&ds.jobs),
+            class_fits: fit_by_class(&ds.jobs, MIN_FIT_SAMPLES),
+            ras: breakdown(&ds.ras, 10),
+            user_events: user_event_correlation(&ds.jobs, &ds.ras, Severity::Warn),
+            locality_boards: locality_map(&ds.ras, Severity::Fatal, Level::Board),
+            locality_racks: locality_map(&ds.ras, Severity::Fatal, Level::Rack),
+            interruptions: interruption_stats(&ds.jobs),
+            submissions_profile: TemporalProfile::compute(ds.jobs.iter().map(|j| j.queued_at)),
+            failures_profile: TemporalProfile::compute(
+                ds.jobs
+                    .iter()
+                    .filter(|j| j.exit_code != 0)
+                    .map(|j| j.ended_at),
+            ),
+            interval_fit: fit_interruption_intervals(&ds.jobs),
+            io: io_outcome_stats(&ds.jobs, &ds.io),
+            lifetime: lifetime_series(&ds.jobs, &ds.ras, 90),
+            prediction,
+            filter,
+            waits_by_size: waits_by_size(&ds.jobs),
+            waits_by_queue: waits_by_queue(&ds.jobs),
+            mean_utilization: mean_utilization(&ds.jobs, &bgq_model::Machine::MIRA),
+        }
+    })
+}
 
 fn bench_generation(c: &mut Criterion) {
     let mut group = c.benchmark_group("generate");
@@ -26,8 +87,13 @@ fn bench_analysis(c: &mut Criterion) {
     let out = generate(&SimConfig::small(30).with_seed(2));
     let mut group = c.benchmark_group("analysis");
     group.sample_size(10);
-    group.bench_function("full_30d", |b| {
+    // After: one shared DatasetIndex + concurrent stage bundles.
+    group.bench_function("full_30d_indexed", |b| {
         b.iter(|| black_box(Analysis::run(&out.dataset)));
+    });
+    // Before: per-stage slice calls, repeated joins, single thread.
+    group.bench_function("full_30d_preindex", |b| {
+        b.iter(|| black_box(analysis_preindex(&out.dataset)));
     });
     group.finish();
 }
@@ -37,9 +103,19 @@ fn bench_join(c: &mut Criterion) {
     let ds = &out.dataset;
     let mut group = c.benchmark_group("join");
     group.sample_size(10);
-    group.bench_function("indexed", |b| {
+    // Interval index + chunked parallel stab loop (the shipping path).
+    group.bench_function("parallel", |b| {
         b.iter(|| black_box(attribute_events(&ds.jobs, &ds.ras, Severity::Warn)));
     });
+    // Same interval index, forced onto one thread.
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            black_box(bgq_par::with_max_threads(1, || {
+                attribute_events(&ds.jobs, &ds.ras, Severity::Warn)
+            }))
+        });
+    });
+    // O(jobs × events) reference implementation.
     group.bench_function("brute_force", |b| {
         b.iter(|| black_box(attribute_events_brute(&ds.jobs, &ds.ras, Severity::Warn)));
     });

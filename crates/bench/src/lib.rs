@@ -558,8 +558,11 @@ pub fn e12_mtti(ctx: &ExperimentCtx) -> String {
         "filtered MTBF (days)".into(),
         fmt(f.mtbf_days(f.after_similarity)),
     ]);
-    let effective =
-        bgq_core::filtering::effective_incidents(&ctx.output.dataset.jobs, &f.incidents);
+    let effective = bgq_core::filtering::effective_incidents(
+        &ctx.output.dataset.jobs,
+        &ctx.output.dataset.ras,
+        &f.incidents,
+    );
     table.row(vec!["effective incidents (hit a job)".into(), effective.to_string()]);
     out += &table.render();
     out += "\npaper expectation: MTTI of a few days (≈3.5 on Mira's full 2001-day trace).\n";

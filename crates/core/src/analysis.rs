@@ -4,18 +4,21 @@ use bgq_logs::store::Dataset;
 use bgq_model::ras::Severity;
 
 use crate::failure_rates::{by_consumed_core_hours, by_core_hours, by_scale, by_tasks, RateCurve};
-use crate::filtering::{filter_events, interruption_stats, FilterConfig, FilterOutcome, InterruptionStats};
-use crate::fitting::{fit_by_class, fit_interruption_intervals, ClassFit};
+use crate::filtering::{
+    interruption_stats_indexed, FilterConfig, FilterOutcome, InterruptionStats,
+};
+use crate::fitting::{fit_by_class_indexed, fit_interruption_intervals_indexed, ClassFit};
+use crate::index::DatasetIndex;
 use crate::io_analysis::{io_outcome_stats, IoOutcomeStats};
 use crate::jobstats::{
-    class_breakdown, per_project, per_user, size_mix, user_caused_share, DatasetTotals,
-    EntityActivity, SizeMixRow, TemporalProfile,
+    class_breakdown_indexed, per_project, per_user, size_mix, user_caused_share_indexed,
+    DatasetTotals, EntityActivity, SizeMixRow, TemporalProfile,
 };
-use crate::lifetime::{lifetime_series, LifetimeSeries};
-use crate::locality::{locality_map, Level, LocalityMap};
+use crate::lifetime::{lifetime_series_indexed, LifetimeSeries};
+use crate::locality::{locality_map_indexed, Level, LocalityMap};
 use crate::prediction::{predict_and_evaluate, PredictionReport, PredictorConfig};
 use crate::queueing::{mean_utilization, waits_by_queue, waits_by_size, WaitRow};
-use crate::ras_analysis::{breakdown, user_event_correlation, RasBreakdown, UserEventCorrelation};
+use crate::ras_analysis::{breakdown, user_event_correlation_indexed, RasBreakdown, UserEventCorrelation};
 
 /// Minimum failed jobs in an exit class before the class is fitted.
 pub const MIN_FIT_SAMPLES: usize = 30;
@@ -91,47 +94,122 @@ pub struct Analysis {
 
 impl Analysis {
     /// Runs every analysis with the default [`FilterConfig`].
+    #[must_use]
     pub fn run(ds: &Dataset) -> Self {
         Analysis::run_with(ds, &FilterConfig::default())
     }
 
     /// Runs every analysis with an explicit filter configuration.
+    ///
+    /// Builds one [`DatasetIndex`] and hands it to every stage — see
+    /// [`Analysis::run_indexed`].
+    #[must_use]
     pub fn run_with(ds: &Dataset, filter_config: &FilterConfig) -> Self {
-        let filter = filter_events(&ds.ras, filter_config);
-        let prediction =
-            predict_and_evaluate(&ds.ras, &filter.incidents, &PredictorConfig::default());
+        Analysis::run_indexed(&DatasetIndex::build_with(ds, filter_config))
+    }
+
+    /// Runs every analysis over a prebuilt [`DatasetIndex`].
+    ///
+    /// The stages are grouped into four independent bundles that run
+    /// concurrently under the `parallel` feature (distribution fitting,
+    /// the RAS↔job join, the funnel consumers, and the per-job sweeps).
+    /// Every stage is a pure function of the index, and the bundles
+    /// exchange no state beyond the memoized index itself, so the result
+    /// is field-for-field identical to the sequential build.
+    #[must_use]
+    pub fn run_indexed(idx: &DatasetIndex<'_>) -> Self {
+        let jobs = idx.jobs;
+        let (
+            (class_fits, interval_fit, lifetime),
+            (user_events, ras, io),
+            (prediction, interruptions, locality_boards, locality_racks),
+            (totals, size_mix_v, per_user_v, per_project_v, rates, waits, profiles),
+        ) = bgq_par::join4(
+            || {
+                (
+                    fit_by_class_indexed(idx, MIN_FIT_SAMPLES),
+                    fit_interruption_intervals_indexed(idx),
+                    lifetime_series_indexed(idx, 90),
+                )
+            },
+            || {
+                (
+                    user_event_correlation_indexed(idx, Severity::Warn),
+                    breakdown(idx.ras, 10),
+                    io_outcome_stats(jobs, idx.io),
+                )
+            },
+            || {
+                (
+                    predict_and_evaluate(
+                        idx.ras,
+                        &idx.filter.incidents,
+                        &PredictorConfig::default(),
+                    ),
+                    interruption_stats_indexed(idx),
+                    locality_map_indexed(idx, Severity::Fatal, Level::Board),
+                    locality_map_indexed(idx, Severity::Fatal, Level::Rack),
+                )
+            },
+            || {
+                (
+                    DatasetTotals::compute(jobs),
+                    size_mix(jobs),
+                    per_user(jobs),
+                    per_project(jobs),
+                    (
+                        by_scale(jobs),
+                        by_tasks(jobs),
+                        by_core_hours(jobs),
+                        by_consumed_core_hours(jobs),
+                    ),
+                    (
+                        waits_by_size(jobs),
+                        waits_by_queue(jobs),
+                        mean_utilization(jobs, &bgq_model::Machine::MIRA),
+                    ),
+                    (
+                        TemporalProfile::compute(jobs.iter().map(|j| j.queued_at)),
+                        TemporalProfile::compute(
+                            jobs.iter()
+                                .filter(|j| j.exit_code != 0)
+                                .map(|j| j.ended_at),
+                        ),
+                    ),
+                )
+            },
+        );
+        let (rate_by_scale, rate_by_tasks, rate_by_core_hours, rate_by_consumed_core_hours) =
+            rates;
+        let (waits_by_size_v, waits_by_queue_v, mean_utilization_v) = waits;
+        let (submissions_profile, failures_profile) = profiles;
         Analysis {
-            totals: DatasetTotals::compute(&ds.jobs),
-            size_mix: size_mix(&ds.jobs),
-            per_user: per_user(&ds.jobs),
-            per_project: per_project(&ds.jobs),
-            class_breakdown: class_breakdown(&ds.jobs),
-            user_caused_share: user_caused_share(&ds.jobs),
-            rate_by_scale: by_scale(&ds.jobs),
-            rate_by_tasks: by_tasks(&ds.jobs),
-            rate_by_core_hours: by_core_hours(&ds.jobs),
-            rate_by_consumed_core_hours: by_consumed_core_hours(&ds.jobs),
-            class_fits: fit_by_class(&ds.jobs, MIN_FIT_SAMPLES),
-            ras: breakdown(&ds.ras, 10),
-            user_events: user_event_correlation(&ds.jobs, &ds.ras, Severity::Warn),
-            locality_boards: locality_map(&ds.ras, Severity::Fatal, Level::Board),
-            locality_racks: locality_map(&ds.ras, Severity::Fatal, Level::Rack),
-            interruptions: interruption_stats(&ds.jobs),
-            submissions_profile: TemporalProfile::compute(ds.jobs.iter().map(|j| j.queued_at)),
-            failures_profile: TemporalProfile::compute(
-                ds.jobs
-                    .iter()
-                    .filter(|j| j.exit_code != 0)
-                    .map(|j| j.ended_at),
-            ),
-            interval_fit: fit_interruption_intervals(&ds.jobs),
-            io: io_outcome_stats(&ds.jobs, &ds.io),
-            lifetime: lifetime_series(&ds.jobs, &ds.ras, 90),
+            totals,
+            size_mix: size_mix_v,
+            per_user: per_user_v,
+            per_project: per_project_v,
+            class_breakdown: class_breakdown_indexed(idx),
+            user_caused_share: user_caused_share_indexed(idx),
+            rate_by_scale,
+            rate_by_tasks,
+            rate_by_core_hours,
+            rate_by_consumed_core_hours,
+            class_fits,
+            ras,
+            user_events,
+            locality_boards,
+            locality_racks,
+            interruptions,
+            submissions_profile,
+            failures_profile,
+            interval_fit,
+            io,
+            lifetime,
             prediction,
-            filter,
-            waits_by_size: waits_by_size(&ds.jobs),
-            waits_by_queue: waits_by_queue(&ds.jobs),
-            mean_utilization: mean_utilization(&ds.jobs, &bgq_model::Machine::MIRA),
+            filter: idx.filter.clone(),
+            waits_by_size: waits_by_size_v,
+            waits_by_queue: waits_by_queue_v,
+            mean_utilization: mean_utilization_v,
         }
     }
 }

@@ -246,6 +246,7 @@ pub struct InterruptionStats {
 }
 
 /// Computes MTTI from the job log alone.
+#[must_use]
 pub fn interruption_stats(jobs: &[JobRecord]) -> InterruptionStats {
     let mut kills: Vec<Timestamp> = jobs
         .iter()
@@ -253,6 +254,19 @@ pub fn interruption_stats(jobs: &[JobRecord]) -> InterruptionStats {
         .map(|j| j.ended_at)
         .collect();
     kills.sort_unstable();
+    interruption_stats_from(jobs, kills)
+}
+
+/// [`interruption_stats`] over a prebuilt index: the kill times come out
+/// of the index's end-time ordering already classified and sorted.
+#[must_use]
+pub fn interruption_stats_indexed(idx: &crate::index::DatasetIndex<'_>) -> InterruptionStats {
+    let kills = idx.end_times_where(|c| c == ExitClass::SystemKill);
+    interruption_stats_from(idx.jobs, kills)
+}
+
+/// Shared tail of the interruption statistics: `kills` must be sorted.
+fn interruption_stats_from(jobs: &[JobRecord], kills: Vec<Timestamp>) -> InterruptionStats {
     let span_days = match (
         jobs.iter().map(|j| j.started_at).min(),
         jobs.iter().map(|j| j.ended_at).max(),
@@ -276,21 +290,67 @@ pub fn interruption_stats(jobs: &[JobRecord]) -> InterruptionStats {
 
 /// Of the filtered incidents, how many struck hardware that was running a
 /// job at the time (an *effective* incident)?
-pub fn effective_incidents(jobs: &[JobRecord], incidents: &[FilteredIncident]) -> usize {
-    use bgq_logs::interval::IntervalIndex;
-    let index = IntervalIndex::build(
-        jobs.iter().map(|j| (j.started_at, j.ended_at)).collect(),
-        Span::from_hours(6),
-    );
-    incidents
-        .iter()
-        .filter(|inc| {
-            index
-                .stab(inc.start)
-                .into_iter()
-                .any(|j| jobs[j].block.contains(&inc.root))
-        })
-        .count()
+///
+/// **Every member event** of an incident is checked against the job
+/// spans: a long incident whose first record predates the victim job (or
+/// whose root symptom is on a neighboring board) still counts when any
+/// of its records lands on a running job's hardware. Incidents carrying
+/// no member-event indices fall back to the representative
+/// `(start, root)` check.
+#[must_use]
+pub fn effective_incidents(
+    jobs: &[JobRecord],
+    ras: &[RasRecord],
+    incidents: &[FilteredIncident],
+) -> usize {
+    effective_incidents_with(jobs, ras, incidents, &bgq_logs::join::job_span_index(jobs))
+}
+
+/// [`effective_incidents`] against a prebuilt job-span index (the
+/// [`DatasetIndex`] path, which shares one index across every stage).
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub(crate) fn effective_incidents_with(
+    jobs: &[JobRecord],
+    ras: &[RasRecord],
+    incidents: &[FilteredIncident],
+    index: &bgq_logs::interval::IntervalIndex,
+) -> usize {
+    // End-INCLUSIVE window check: a system kill ends its victim at
+    // exactly the strike time, so the join's usual end-exclusive stab
+    // would be blind to precisely the jobs the incident interrupted. A
+    // job ending exactly at `t` was running at `t - 1`, so a second stab
+    // one second earlier recovers the victims.
+    let strikes = |t: Timestamp, loc: &Location| {
+        let mut hit = false;
+        index.stab_each(t, |j| hit = hit || jobs[j].block.contains(loc));
+        if !hit {
+            index.stab_each(t - Span::from_secs(1), |j| {
+                hit = hit || (jobs[j].ended_at == t && jobs[j].block.contains(loc));
+            });
+        }
+        hit
+    };
+    bgq_par::par_chunk_fold(
+        incidents,
+        || 0usize,
+        |_base, chunk| {
+            chunk
+                .iter()
+                .filter(|inc| {
+                    if inc.events.is_empty() {
+                        strikes(inc.start, &inc.root)
+                    } else {
+                        inc.events
+                            .iter()
+                            .any(|&e| strikes(ras[e].event_time, &ras[e].location))
+                    }
+                })
+                .count()
+        },
+        |a, b| a + b,
+    )
 }
 
 #[cfg(test)]
@@ -492,8 +552,35 @@ mod tests {
                 root: "R20".parse::<Location>().unwrap(),
                 ..hit.clone()
             };
-            assert_eq!(effective_incidents(&jobs, &[hit]), 1);
-            assert_eq!(effective_incidents(&jobs, &[miss_time, miss_place]), 0);
+            assert_eq!(effective_incidents(&jobs, &[], &[hit]), 1);
+            assert_eq!(effective_incidents(&jobs, &[], &[miss_time, miss_place]), 0);
+        }
+
+        #[test]
+        fn effective_incident_checks_every_member_event() {
+            // The incident's *first* record hits empty hardware, but a
+            // later member record lands on the running job: the per-event
+            // check must count it, the old representative check did not.
+            let jobs = vec![job(75, 0, 1_000)]; // block = midplane 0 (R00)
+            let ras = vec![
+                super::fatal(500, "R20-M0-N00", 1, "link down"),
+                super::fatal(600, "R00-M0-N01", 1, "link down"),
+            ];
+            let inc = FilteredIncident {
+                start: Timestamp::from_secs(500),
+                end: Timestamp::from_secs(600),
+                root: "R20-M0-N00".parse::<Location>().unwrap(),
+                events: vec![0, 1],
+                message: String::new(),
+                family: 1,
+            };
+            assert_eq!(effective_incidents(&jobs, &ras, std::slice::from_ref(&inc)), 1);
+            // With only the off-job record, it stays non-effective.
+            let miss = FilteredIncident {
+                events: vec![0],
+                ..inc
+            };
+            assert_eq!(effective_incidents(&jobs, &ras, &[miss]), 0);
         }
     }
 }

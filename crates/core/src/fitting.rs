@@ -37,9 +37,27 @@ impl ClassFit {
 /// excluded: their length is right-censored by the scheduler, not an
 /// observation of the failure law, and including them biases every fit
 /// toward lighter tails.
+#[must_use]
 pub fn failure_lengths(jobs: &[JobRecord], class: ExitClass) -> Vec<f64> {
+    lengths_where(jobs, |i| ExitClass::from_exit_code(jobs[i].exit_code) == class)
+}
+
+/// [`failure_lengths`] using the memoized classes of a [`DatasetIndex`].
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn failure_lengths_indexed(
+    idx: &crate::index::DatasetIndex<'_>,
+    class: ExitClass,
+) -> Vec<f64> {
+    lengths_where(idx.jobs, |i| idx.exit_class(i) == class)
+}
+
+fn lengths_where(jobs: &[JobRecord], in_class: impl Fn(usize) -> bool) -> Vec<f64> {
     jobs.iter()
-        .filter(|j| ExitClass::from_exit_code(j.exit_code) == class)
+        .enumerate()
+        .filter(|&(i, _)| in_class(i))
+        .map(|(_, j)| j)
         .filter(|j| (j.runtime().as_secs() as f64) < 0.95 * f64::from(j.requested_walltime_s))
         .map(|j| j.runtime().as_secs() as f64)
         .filter(|&x| x > 0.0)
@@ -51,26 +69,50 @@ pub fn failure_lengths(jobs: &[JobRecord], class: ExitClass) -> Vec<f64> {
 /// Classes with fewer than `min_samples` failed jobs are skipped — fitting
 /// a two-parameter family to a handful of points is noise, and the paper
 /// only reports classes with substantial mass.
+#[must_use]
 pub fn fit_by_class(jobs: &[JobRecord], min_samples: usize) -> Vec<ClassFit> {
-    ExitClass::FITTED_USER_CLASSES
-        .iter()
-        .filter_map(|&class| {
-            let lengths = failure_lengths(jobs, class);
-            if lengths.len() < min_samples {
-                return None;
-            }
-            let selection = select_best(&lengths, &DistKind::PAPER_CANDIDATES);
-            Some(ClassFit {
-                class,
-                n: lengths.len(),
-                ranked: selection.ranked,
-            })
+    fit_classes(min_samples, |class| failure_lengths(jobs, class))
+}
+
+/// [`fit_by_class`] over a prebuilt [`DatasetIndex`].
+///
+/// The per-class maximum-likelihood fits are independent, so they run
+/// concurrently under the `parallel` feature; the result order follows
+/// [`ExitClass::FITTED_USER_CLASSES`] either way.
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn fit_by_class_indexed(
+    idx: &crate::index::DatasetIndex<'_>,
+    min_samples: usize,
+) -> Vec<ClassFit> {
+    fit_classes(min_samples, |class| failure_lengths_indexed(idx, class))
+}
+
+fn fit_classes(
+    min_samples: usize,
+    lengths_of: impl Fn(ExitClass) -> Vec<f64> + Sync,
+) -> Vec<ClassFit> {
+    bgq_par::par_map(&ExitClass::FITTED_USER_CLASSES, |&class| {
+        let lengths = lengths_of(class);
+        if lengths.len() < min_samples {
+            return None;
+        }
+        let selection = select_best(&lengths, &DistKind::PAPER_CANDIDATES);
+        Some(ClassFit {
+            class,
+            n: lengths.len(),
+            ranked: selection.ranked,
         })
-        .collect()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Interruption intervals: gaps (in seconds) between consecutive failure
 /// *events* (failed-job end times), the other quantity the abstract fits.
+#[must_use]
 pub fn interruption_intervals(jobs: &[JobRecord]) -> Vec<f64> {
     let mut ends: Vec<_> = jobs
         .iter()
@@ -78,6 +120,19 @@ pub fn interruption_intervals(jobs: &[JobRecord]) -> Vec<f64> {
         .map(|j| j.ended_at)
         .collect();
     ends.sort_unstable();
+    gaps_of(&ends)
+}
+
+/// [`interruption_intervals`] over a prebuilt [`DatasetIndex`]: the
+/// failed end times come out of the index's end ordering pre-sorted.
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn interruption_intervals_indexed(idx: &crate::index::DatasetIndex<'_>) -> Vec<f64> {
+    gaps_of(&idx.end_times_where(|c| c.is_failure()))
+}
+
+fn gaps_of(ends: &[bgq_model::Timestamp]) -> Vec<f64> {
     ends.windows(2)
         .map(|w| (w[1] - w[0]).as_secs() as f64)
         .filter(|&g| g > 0.0)
@@ -86,8 +141,22 @@ pub fn interruption_intervals(jobs: &[JobRecord]) -> Vec<f64> {
 
 /// Fits the paper's candidate set to the interruption intervals
 /// (experiment E13's fit panel).
+#[must_use]
 pub fn fit_interruption_intervals(jobs: &[JobRecord]) -> Option<ModelSelection> {
-    let gaps = interruption_intervals(jobs);
+    fit_gaps(interruption_intervals(jobs))
+}
+
+/// [`fit_interruption_intervals`] over a prebuilt [`DatasetIndex`].
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn fit_interruption_intervals_indexed(
+    idx: &crate::index::DatasetIndex<'_>,
+) -> Option<ModelSelection> {
+    fit_gaps(interruption_intervals_indexed(idx))
+}
+
+fn fit_gaps(gaps: Vec<f64>) -> Option<ModelSelection> {
     if gaps.len() < 20 {
         return None;
     }

@@ -1,0 +1,289 @@
+//! The shared, memoized dataset index every analysis stage reads from.
+//!
+//! Before this module existed each analysis recomputed the same derived
+//! artifacts from the raw logs: the per-job exit classification, the
+//! job-span interval index, the RAS↔job attribution join, and the
+//! three-stage incident funnel were each rebuilt by every caller that
+//! needed them — the full pipeline classified every job five times and
+//! ran the (expensive) join twice at the same severity. [`DatasetIndex`]
+//! computes each artifact exactly once and hands out shared references,
+//! so [`Analysis::run`] stages — which run concurrently under the
+//! `parallel` feature — all read the same memoized state.
+//!
+//! Everything here is deterministic: eager artifacts are built with
+//! order-preserving combinators, and the lazily memoized joins are pure
+//! functions of the dataset, so a [`std::sync::OnceLock`] race between
+//! two stages settles on the same value either way.
+//!
+//! [`Analysis::run`]: crate::analysis::Analysis::run
+
+use std::sync::OnceLock;
+
+use bgq_logs::interval::IntervalIndex;
+use bgq_logs::join::{attribute_events_with, job_span_index, JoinResult};
+use bgq_logs::store::Dataset;
+use bgq_model::ras::Severity;
+use bgq_model::{IoRecord, JobRecord, RasRecord, Timestamp};
+
+use crate::exitcode::ExitClass;
+use crate::filtering::{effective_incidents_with, filter_events, FilterConfig, FilterOutcome};
+
+/// Rank of a severity, used to key the per-severity caches.
+fn rank(severity: Severity) -> usize {
+    match severity {
+        Severity::Info => 0,
+        Severity::Warn => 1,
+        Severity::Fatal => 2,
+    }
+}
+
+/// Shared derived state over one [`Dataset`], computed once.
+///
+/// Cheap artifacts (exit classes, severity partition, job-span interval
+/// index, the filtering funnel, time orderings) are built eagerly by
+/// [`DatasetIndex::build`]; the RAS↔job join is memoized per severity on
+/// first use, because most pipelines only ever join at one or two
+/// severities.
+///
+/// # Examples
+///
+/// ```
+/// use bgq_core::index::DatasetIndex;
+/// use bgq_model::ras::Severity;
+/// use bgq_sim::{generate, SimConfig};
+///
+/// let out = generate(&SimConfig::small(5).with_seed(1));
+/// let idx = DatasetIndex::build(&out.dataset);
+/// let join = idx.join(Severity::Warn); // computed now...
+/// assert!(std::ptr::eq(join, idx.join(Severity::Warn))); // ...reused here
+/// ```
+pub struct DatasetIndex<'a> {
+    /// The job log (time-sorted by the store's normalization).
+    pub jobs: &'a [JobRecord],
+    /// The RAS log (time-sorted).
+    pub ras: &'a [RasRecord],
+    /// The I/O log.
+    pub io: &'a [IoRecord],
+    /// The filter configuration the funnel ran with.
+    pub filter_config: FilterConfig,
+    /// `exit_classes[i]` classifies `jobs[i].exit_code`.
+    pub exit_classes: Vec<ExitClass>,
+    /// Job indices sorted by `(ended_at, index)` — the time ordering the
+    /// interruption and interval analyses consume.
+    pub jobs_by_end: Vec<usize>,
+    /// The job-span interval index the join and incident checks stab.
+    pub job_spans: IntervalIndex,
+    /// The three-stage filtering funnel over the FATAL records.
+    pub filter: FilterOutcome,
+    /// RAS record indices partitioned by exact severity (`[rank]` is
+    /// time-sorted because the RAS log is).
+    by_severity: [Vec<usize>; 3],
+    /// Memoized RAS↔job joins, one slot per minimum severity.
+    joins: [OnceLock<JoinResult>; 3],
+}
+
+impl<'a> DatasetIndex<'a> {
+    /// Builds the index with the default [`FilterConfig`].
+    #[must_use]
+    pub fn build(ds: &'a Dataset) -> Self {
+        Self::build_with(ds, &FilterConfig::default())
+    }
+
+    /// Builds the index with an explicit filter configuration.
+    ///
+    /// The job-side artifacts (classification, span index, end ordering)
+    /// and the RAS-side artifacts (funnel, severity partition) touch
+    /// disjoint logs, so the two groups run concurrently under the
+    /// `parallel` feature.
+    #[must_use]
+    pub fn build_with(ds: &'a Dataset, config: &FilterConfig) -> Self {
+        let (jobs, ras) = (ds.jobs.as_slice(), ds.ras.as_slice());
+        let ((exit_classes, jobs_by_end, job_spans), (filter, by_severity)) = bgq_par::join(
+            || {
+                let classes = bgq_par::par_map(jobs, |j| ExitClass::from_exit_code(j.exit_code));
+                let mut by_end: Vec<usize> = (0..jobs.len()).collect();
+                by_end.sort_by_key(|&i| (jobs[i].ended_at, i));
+                (classes, by_end, job_span_index(jobs))
+            },
+            || {
+                let filter = filter_events(ras, config);
+                let mut views: [Vec<usize>; 3] = Default::default();
+                for (i, r) in ras.iter().enumerate() {
+                    views[rank(r.severity)].push(i);
+                }
+                (filter, views)
+            },
+        );
+        DatasetIndex {
+            jobs,
+            ras,
+            io: &ds.io,
+            filter_config: config.clone(),
+            exit_classes,
+            jobs_by_end,
+            job_spans,
+            filter,
+            by_severity,
+            joins: Default::default(),
+        }
+    }
+
+    /// Exit class of `jobs[i]`.
+    #[must_use]
+    pub fn exit_class(&self, i: usize) -> ExitClass {
+        self.exit_classes[i]
+    }
+
+    /// RAS record indices of exactly this severity, in time order.
+    #[must_use]
+    pub fn events_with_severity(&self, severity: Severity) -> &[usize] {
+        &self.by_severity[rank(severity)]
+    }
+
+    /// Calls `f` with each RAS record index of at least `min_severity`.
+    ///
+    /// Iterates the severity partitions in rank order, so the visit
+    /// order is deterministic (but **not** global time order — use it
+    /// for order-insensitive aggregation only).
+    pub fn each_event_at_least(&self, min_severity: Severity, mut f: impl FnMut(usize)) {
+        for view in &self.by_severity[rank(min_severity)..] {
+            for &i in view {
+                f(i);
+            }
+        }
+    }
+
+    /// Number of RAS records of at least `min_severity`.
+    #[must_use]
+    pub fn events_at_least(&self, min_severity: Severity) -> usize {
+        self.by_severity[rank(min_severity)..]
+            .iter()
+            .map(Vec::len)
+            .sum()
+    }
+
+    /// The RAS↔job join at `min_severity`, computed on first use and
+    /// shared by every later caller (the funnel's breakdown, the user
+    /// correlation, and the affected-job count all read one join).
+    #[must_use]
+    pub fn join(&self, min_severity: Severity) -> &JoinResult {
+        self.joins[rank(min_severity)].get_or_init(|| {
+            attribute_events_with(self.jobs, self.ras, min_severity, &self.job_spans)
+        })
+    }
+
+    /// The memoized join at `min_severity`, if some caller already
+    /// forced it (test hook for the memoization contract).
+    #[must_use]
+    pub fn join_cached(&self, min_severity: Severity) -> Option<&JoinResult> {
+        self.joins[rank(min_severity)].get()
+    }
+
+    /// How many filtered incidents struck hardware that was running a
+    /// job at the time, checking **every member event** of the incident
+    /// against the shared job-span index.
+    #[must_use]
+    pub fn effective_incident_count(&self) -> usize {
+        effective_incidents_with(self.jobs, self.ras, &self.filter.incidents, &self.job_spans)
+    }
+
+    /// End times of jobs whose exit class satisfies `keep`, ascending.
+    #[must_use]
+    pub fn end_times_where(&self, keep: impl Fn(ExitClass) -> bool) -> Vec<Timestamp> {
+        let mut out = Vec::new();
+        for &i in &self.jobs_by_end {
+            if keep(self.exit_classes[i]) {
+                out.push(self.jobs[i].ended_at);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_logs::join::attribute_events;
+    use bgq_sim::{generate, SimConfig};
+
+    fn dataset() -> Dataset {
+        generate(&SimConfig::small(20).with_seed(11)).dataset
+    }
+
+    #[test]
+    fn eager_artifacts_match_direct_computation() {
+        let ds = dataset();
+        let idx = DatasetIndex::build(&ds);
+        assert_eq!(idx.exit_classes.len(), ds.jobs.len());
+        for (i, j) in ds.jobs.iter().enumerate() {
+            assert_eq!(idx.exit_class(i), ExitClass::from_exit_code(j.exit_code));
+        }
+        // Severity partition covers the RAS log exactly once.
+        let total: usize = Severity::ALL
+            .iter()
+            .map(|&s| idx.events_with_severity(s).len())
+            .sum();
+        assert_eq!(total, ds.ras.len());
+        assert_eq!(idx.events_at_least(Severity::Info), ds.ras.len());
+        for &s in &Severity::ALL {
+            for &i in idx.events_with_severity(s) {
+                assert_eq!(ds.ras[i].severity, s);
+            }
+        }
+        // End ordering is sorted and a permutation.
+        assert!(idx
+            .jobs_by_end
+            .windows(2)
+            .all(|w| ds.jobs[w[0]].ended_at <= ds.jobs[w[1]].ended_at));
+        let mut perm = idx.jobs_by_end.clone();
+        perm.sort_unstable();
+        assert_eq!(perm, (0..ds.jobs.len()).collect::<Vec<_>>());
+        // The funnel matches a direct run.
+        assert_eq!(
+            idx.filter,
+            filter_events(&ds.ras, &FilterConfig::default())
+        );
+    }
+
+    #[test]
+    fn join_is_memoized_and_matches_unindexed_join() {
+        let ds = dataset();
+        let idx = DatasetIndex::build(&ds);
+        assert!(idx.join_cached(Severity::Warn).is_none());
+        let first = idx.join(Severity::Warn);
+        // Same allocation handed to every caller: computed exactly once.
+        assert!(std::ptr::eq(first, idx.join(Severity::Warn)));
+        assert!(std::ptr::eq(
+            first,
+            idx.join_cached(Severity::Warn).unwrap()
+        ));
+        let direct = attribute_events(&ds.jobs, &ds.ras, Severity::Warn);
+        assert_eq!(first.pairs, direct.pairs);
+        // Other severities stay lazy until asked for.
+        assert!(idx.join_cached(Severity::Fatal).is_none());
+    }
+
+    #[test]
+    fn end_times_filter_by_class() {
+        let ds = dataset();
+        let idx = DatasetIndex::build(&ds);
+        let failed = idx.end_times_where(|c| c.is_failure());
+        let mut expect: Vec<Timestamp> = ds
+            .jobs
+            .iter()
+            .filter(|j| ExitClass::from_exit_code(j.exit_code).is_failure())
+            .map(|j| j.ended_at)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(failed, expect);
+    }
+
+    #[test]
+    fn empty_dataset_is_safe() {
+        let ds = Dataset::new();
+        let idx = DatasetIndex::build(&ds);
+        assert!(idx.exit_classes.is_empty());
+        assert!(idx.join(Severity::Info).is_empty());
+        assert_eq!(idx.effective_incident_count(), 0);
+    }
+}

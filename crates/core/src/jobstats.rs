@@ -214,6 +214,7 @@ impl TemporalProfile {
 }
 
 /// Failure-class breakdown (experiment E4): counts per [`ExitClass`].
+#[must_use]
 pub fn class_breakdown(jobs: &[JobRecord]) -> BTreeMap<ExitClass, usize> {
     let mut map = BTreeMap::new();
     for j in jobs {
@@ -222,14 +223,42 @@ pub fn class_breakdown(jobs: &[JobRecord]) -> BTreeMap<ExitClass, usize> {
     map
 }
 
+/// [`class_breakdown`] over a prebuilt [`DatasetIndex`]: counts the
+/// memoized per-job classes instead of reclassifying exit codes.
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn class_breakdown_indexed(
+    idx: &crate::index::DatasetIndex<'_>,
+) -> BTreeMap<ExitClass, usize> {
+    let mut map = BTreeMap::new();
+    for &class in &idx.exit_classes {
+        *map.entry(class).or_insert(0) += 1;
+    }
+    map
+}
+
 /// The user-attributed share of failures (the paper's 99.4% headline).
 ///
 /// Returns `None` when there are no failures.
+#[must_use]
 pub fn user_caused_share(jobs: &[JobRecord]) -> Option<f64> {
+    user_caused_share_of(jobs.iter().map(|j| ExitClass::from_exit_code(j.exit_code)))
+}
+
+/// [`user_caused_share`] over the memoized classes of a [`DatasetIndex`].
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn user_caused_share_indexed(idx: &crate::index::DatasetIndex<'_>) -> Option<f64> {
+    user_caused_share_of(idx.exit_classes.iter().copied())
+}
+
+fn user_caused_share_of(classes: impl Iterator<Item = ExitClass>) -> Option<f64> {
     let mut user = 0usize;
     let mut total = 0usize;
-    for j in jobs {
-        if let Some(attr) = ExitClass::from_exit_code(j.exit_code).attribution() {
+    for class in classes {
+        if let Some(attr) = class.attribution() {
             total += 1;
             user += usize::from(attr == crate::exitcode::Attribution::User);
         }

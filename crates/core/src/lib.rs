@@ -41,6 +41,7 @@ pub mod exitcode;
 pub mod failure_rates;
 pub mod filtering;
 pub mod fitting;
+pub mod index;
 pub mod io_analysis;
 pub mod jobstats;
 pub mod lifetime;
@@ -54,4 +55,5 @@ pub mod takeaways;
 pub use analysis::Analysis;
 pub use exitcode::{Attribution, ExitClass};
 pub use filtering::{FilterConfig, FilterOutcome};
+pub use index::DatasetIndex;
 pub use takeaways::{takeaways, Takeaway};

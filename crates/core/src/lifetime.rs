@@ -60,10 +60,49 @@ pub struct LifetimeSeries {
 /// # Panics
 ///
 /// Panics if `window_days == 0`.
+#[must_use]
 pub fn lifetime_series(
     jobs: &[JobRecord],
     ras: &[RasRecord],
     window_days: u32,
+) -> LifetimeSeries {
+    series_impl(jobs, ras, window_days, |i| {
+        ExitClass::from_exit_code(jobs[i].exit_code)
+    })
+}
+
+/// [`lifetime_series`] over a prebuilt [`DatasetIndex`]: reuses the
+/// memoized per-job exit classes instead of reclassifying every job.
+///
+/// # Panics
+///
+/// Panics if `window_days == 0`.
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn lifetime_series_indexed(
+    idx: &crate::index::DatasetIndex<'_>,
+    window_days: u32,
+) -> LifetimeSeries {
+    series_impl(idx.jobs, idx.ras, window_days, |i| idx.exit_class(i))
+}
+
+/// Per-window integer counters accumulated by the job scatter.
+#[derive(Clone, Copy, Default)]
+struct JobCounts {
+    jobs: usize,
+    failed: usize,
+    system_kills: usize,
+}
+
+/// The scatter core. Both scatters run as chunked parallel folds whose
+/// per-window counters merge by integer addition in chunk order, so the
+/// totals are identical to the sequential pass.
+fn series_impl(
+    jobs: &[JobRecord],
+    ras: &[RasRecord],
+    window_days: u32,
+    class_at: impl Fn(usize) -> ExitClass + Sync,
 ) -> LifetimeSeries {
     assert!(window_days > 0, "window must be positive");
     let (Some(start), Some(end)) = (
@@ -84,31 +123,70 @@ pub fn lifetime_series(
     let window = Span::from_days(i64::from(window_days));
     let n_windows =
         (((end - start).as_secs() / window.as_secs()) + 1).max(1) as usize;
-    let mut windows: Vec<LifetimeWindow> = (0..n_windows)
+    let index_of = move |t: Timestamp| -> usize {
+        ((((t - start).as_secs().max(0)) / window.as_secs()) as usize).min(n_windows - 1)
+    };
+
+    let add = |mut a: Vec<JobCounts>, b: Vec<JobCounts>| {
+        for (x, y) in a.iter_mut().zip(b) {
+            x.jobs += y.jobs;
+            x.failed += y.failed;
+            x.system_kills += y.system_kills;
+        }
+        a
+    };
+    let (job_counts, fatal_counts) = bgq_par::join(
+        || {
+            bgq_par::par_chunk_fold(
+                jobs,
+                || vec![JobCounts::default(); n_windows],
+                |base, chunk| {
+                    let mut counts = vec![JobCounts::default(); n_windows];
+                    for (off, j) in chunk.iter().enumerate() {
+                        let w = &mut counts[index_of(j.ended_at)];
+                        w.jobs += 1;
+                        let class = class_at(base + off);
+                        w.failed += usize::from(class.is_failure());
+                        w.system_kills += usize::from(class == ExitClass::SystemKill);
+                    }
+                    counts
+                },
+                add,
+            )
+        },
+        || {
+            bgq_par::par_chunk_fold(
+                ras,
+                || vec![0usize; n_windows],
+                |_base, chunk| {
+                    let mut counts = vec![0usize; n_windows];
+                    for r in chunk {
+                        if r.severity == Severity::Fatal {
+                            counts[index_of(r.event_time)] += 1;
+                        }
+                    }
+                    counts
+                },
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            )
+        },
+    );
+
+    let windows: Vec<LifetimeWindow> = (0..n_windows)
         .map(|i| LifetimeWindow {
             start: start + Span::from_secs(window.as_secs() * i as i64),
             length: window,
-            jobs: 0,
-            failed: 0,
-            system_kills: 0,
-            fatal_records: 0,
+            jobs: job_counts[i].jobs,
+            failed: job_counts[i].failed,
+            system_kills: job_counts[i].system_kills,
+            fatal_records: fatal_counts[i],
         })
         .collect();
-    let index_of = |t: Timestamp| -> usize {
-        (((t - start).as_secs().max(0)) / window.as_secs()) as usize
-    };
-    for j in jobs {
-        let w = &mut windows[index_of(j.ended_at).min(n_windows - 1)];
-        w.jobs += 1;
-        let class = ExitClass::from_exit_code(j.exit_code);
-        w.failed += usize::from(class.is_failure());
-        w.system_kills += usize::from(class == ExitClass::SystemKill);
-    }
-    for r in ras {
-        if r.severity == Severity::Fatal {
-            windows[index_of(r.event_time).min(n_windows - 1)].fatal_records += 1;
-        }
-    }
 
     let third = (windows.len() / 3).max(1);
     let early: usize = windows.iter().take(third).map(|w| w.fatal_records).sum();

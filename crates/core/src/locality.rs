@@ -78,6 +78,7 @@ fn truncate(loc: &Location, level: Level) -> Option<Location> {
 }
 
 /// Aggregates events of at least `min_severity` per element at `level`.
+#[must_use]
 pub fn locality_map(ras: &[RasRecord], min_severity: Severity, level: Level) -> LocalityMap {
     let mut map: BTreeMap<Location, usize> = BTreeMap::new();
     let mut total = 0usize;
@@ -90,6 +91,33 @@ pub fn locality_map(ras: &[RasRecord], min_severity: Severity, level: Level) -> 
             total += 1;
         }
     }
+    rank_counts(map, total, level)
+}
+
+/// [`locality_map`] over a prebuilt [`DatasetIndex`]: walks only the
+/// severity partitions at or above `min_severity` instead of scanning
+/// (and severity-testing) the whole RAS log per granularity level.
+///
+/// [`DatasetIndex`]: crate::index::DatasetIndex
+#[must_use]
+pub fn locality_map_indexed(
+    idx: &crate::index::DatasetIndex<'_>,
+    min_severity: Severity,
+    level: Level,
+) -> LocalityMap {
+    let mut map: BTreeMap<Location, usize> = BTreeMap::new();
+    let mut total = 0usize;
+    idx.each_event_at_least(min_severity, |i| {
+        if let Some(elem) = truncate(&idx.ras[i].location, level) {
+            *map.entry(elem).or_insert(0) += 1;
+            total += 1;
+        }
+    });
+    rank_counts(map, total, level)
+}
+
+/// Shared ranking tail: sort descending by count, break ties by location.
+fn rank_counts(map: BTreeMap<Location, usize>, total: usize, level: Level) -> LocalityMap {
     let mut counts: Vec<(Location, usize)> = map.into_iter().collect();
     counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     LocalityMap {

@@ -3,10 +3,12 @@
 
 use std::collections::BTreeMap;
 
-use bgq_logs::join::attribute_events;
+use bgq_logs::join::{attribute_events, JoinResult};
 use bgq_model::ras::{Category, Component, MsgId, Severity};
 use bgq_model::{JobRecord, RasRecord};
 use bgq_stats::correlation::{pearson, spearman};
+
+use crate::index::DatasetIndex;
 
 /// Severity / category / component breakdowns of the RAS log (E8).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -60,12 +62,29 @@ pub struct UserEventCorrelation {
 /// Joins events (of at least `min_severity`) to jobs and correlates the
 /// per-user attributed-event counts with the user's core-hours and job
 /// count — the abstract's "high correlation with users and core-hours".
+#[must_use]
 pub fn user_event_correlation(
     jobs: &[JobRecord],
     ras: &[RasRecord],
     min_severity: Severity,
 ) -> UserEventCorrelation {
-    let join = attribute_events(jobs, ras, min_severity);
+    correlation_from(jobs, &attribute_events(jobs, ras, min_severity))
+}
+
+/// [`user_event_correlation`] over a prebuilt [`DatasetIndex`]: reads
+/// the memoized join, so [`affected_jobs_indexed`] at the same severity
+/// shares it instead of re-running the attribution (the unindexed pair
+/// of calls used to run the join twice).
+#[must_use]
+pub fn user_event_correlation_indexed(
+    idx: &DatasetIndex<'_>,
+    min_severity: Severity,
+) -> UserEventCorrelation {
+    correlation_from(idx.jobs, idx.join(min_severity))
+}
+
+/// Correlation core over an already-computed join.
+fn correlation_from(jobs: &[JobRecord], join: &JoinResult) -> UserEventCorrelation {
     let mut per_user: BTreeMap<u32, (f64, usize, usize)> = BTreeMap::new();
     for j in jobs {
         let e = per_user.entry(j.user.raw()).or_default();
@@ -93,8 +112,17 @@ pub fn user_event_correlation(
 
 /// Jobs affected by at least one event of the given severity, with the
 /// total number of attribution pairs.
+#[must_use]
 pub fn affected_jobs(jobs: &[JobRecord], ras: &[RasRecord], min_severity: Severity) -> (usize, usize) {
     let join = attribute_events(jobs, ras, min_severity);
+    (join.affected_jobs().len(), join.len())
+}
+
+/// [`affected_jobs`] over a prebuilt [`DatasetIndex`], sharing the
+/// memoized join with every other stage at this severity.
+#[must_use]
+pub fn affected_jobs_indexed(idx: &DatasetIndex<'_>, min_severity: Severity) -> (usize, usize) {
+    let join = idx.join(min_severity);
     (join.affected_jobs().len(), join.len())
 }
 
@@ -188,6 +216,42 @@ mod tests {
         let (jobs_hit, pairs) = affected_jobs(&jobs, &ras, Severity::Fatal);
         assert_eq!(jobs_hit, 1);
         assert_eq!(pairs, 2);
+    }
+
+    #[test]
+    fn indexed_callers_share_one_memoized_join() {
+        // Same layout as `correlation_tracks_usage`, but driven through
+        // the index: the correlation and the affected-job count at the
+        // same severity must read one JoinResult, computed once.
+        let mut ds = bgq_logs::store::Dataset::new();
+        let mut rec = 0;
+        for u in 1..=4u32 {
+            for k in 0..(u as usize * 3) {
+                let start = (u as i64) * 100_000 + k as i64 * 2_000;
+                let block = Block::new((u as u16 - 1) * 4, 2).unwrap();
+                ds.jobs
+                    .push(job(u64::from(u) * 100 + k as u64, u, block, start, start + 1_000));
+                rec += 1;
+                let mid = block.midplanes().next().unwrap();
+                ds.ras
+                    .push(event(rec, start + 500, &mid.to_string(), Severity::Warn, 1));
+            }
+        }
+        let idx = crate::index::DatasetIndex::build(&ds);
+        assert!(idx.join_cached(Severity::Warn).is_none());
+        let c = user_event_correlation_indexed(&idx, Severity::Warn);
+        let first = idx.join_cached(Severity::Warn).expect("memoized");
+        let (jobs_hit, pairs) = affected_jobs_indexed(&idx, Severity::Warn);
+        assert!(
+            std::ptr::eq(first, idx.join_cached(Severity::Warn).unwrap()),
+            "second caller must reuse the first caller's join"
+        );
+        // Both indexed results agree with the unindexed slice paths.
+        assert_eq!(c, user_event_correlation(&ds.jobs, &ds.ras, Severity::Warn));
+        assert_eq!(
+            (jobs_hit, pairs),
+            affected_jobs(&ds.jobs, &ds.ras, Severity::Warn)
+        );
     }
 
     #[test]

@@ -38,11 +38,19 @@ impl IntervalIndex {
     /// Builds an index over `intervals` with the given bucket width.
     /// Intervals with `end <= start` are kept but never match.
     ///
+    /// Accepts any iterator of `(start, end)` pairs, so callers can feed
+    /// record fields straight in without materializing a temporary vector.
+    ///
     /// # Panics
     ///
     /// Panics if `bucket_width` is not positive or more than `u32::MAX`
     /// intervals are supplied.
-    pub fn build(intervals: Vec<(Timestamp, Timestamp)>, bucket_width: Span) -> Self {
+    #[must_use]
+    pub fn build(
+        intervals: impl IntoIterator<Item = (Timestamp, Timestamp)>,
+        bucket_width: Span,
+    ) -> Self {
+        let intervals: Vec<(Timestamp, Timestamp)> = intervals.into_iter().collect();
         assert!(bucket_width.as_secs() > 0, "bucket width must be positive");
         assert!(
             intervals.len() <= u32::MAX as usize,
@@ -83,38 +91,50 @@ impl IntervalIndex {
     }
 
     /// Number of indexed intervals.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.intervals.len()
     }
 
     /// `true` if no intervals were supplied.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.intervals.is_empty()
     }
 
     /// Indices of all intervals containing `t` (start-inclusive,
     /// end-exclusive), in ascending index order.
+    #[must_use]
     pub fn stab(&self, t: Timestamp) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.stab_each(t, |i| out.push(i));
+        out
+    }
+
+    /// Calls `hit` with each interval index containing `t`, in ascending
+    /// index order, without allocating — the hot-loop form of [`stab`]
+    /// (the join calls this once per RAS event).
+    ///
+    /// [`stab`]: IntervalIndex::stab
+    pub fn stab_each(&self, t: Timestamp, mut hit: impl FnMut(usize)) {
         let secs = t.as_secs();
         if self.buckets.is_empty() || secs < self.origin {
-            return Vec::new();
+            return;
         }
         let b = ((secs - self.origin) / self.width) as usize;
         let Some(bucket) = self.buckets.get(b) else {
-            return Vec::new();
+            return;
         };
-        bucket
-            .iter()
-            .copied()
-            .filter(|&i| {
-                let (s, e) = self.intervals[i as usize];
-                s <= t && t < e
-            })
-            .map(|i| i as usize)
-            .collect()
+        for &i in bucket {
+            let (s, e) = self.intervals[i as usize];
+            if s <= t && t < e {
+                hit(i as usize);
+            }
+        }
     }
 
     /// Indices of all intervals overlapping `[from, to)`.
+    #[must_use]
     pub fn overlapping(&self, from: Timestamp, to: Timestamp) -> Vec<usize> {
         if to <= from || self.buckets.is_empty() {
             return Vec::new();

@@ -29,30 +29,53 @@ pub struct JoinResult {
 
 impl JoinResult {
     /// Jobs affected by at least one event, as sorted deduplicated indices.
+    #[must_use]
     pub fn affected_jobs(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.pairs.iter().map(|a| a.job_idx).collect();
+        let mut v: Vec<usize> = Vec::with_capacity(self.pairs.len());
+        v.extend(self.pairs.iter().map(|a| a.job_idx));
         v.sort_unstable();
         v.dedup();
         v
     }
 
     /// Events that hit at least one job, as sorted deduplicated indices.
+    #[must_use]
     pub fn effective_events(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.pairs.iter().map(|a| a.event_idx).collect();
+        let mut v: Vec<usize> = Vec::with_capacity(self.pairs.len());
+        v.extend(self.pairs.iter().map(|a| a.event_idx));
         v.sort_unstable();
         v.dedup();
         v
     }
 
     /// Number of attribution pairs.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.pairs.len()
     }
 
     /// `true` if no event hit any job.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.pairs.is_empty()
     }
+}
+
+/// The bucket width used for the job-span [`IntervalIndex`] (roughly the
+/// median job runtime; keeps per-bucket membership lists short).
+pub const JOB_SPAN_BUCKET: Span = Span::from_hours(6);
+
+/// Builds the job-span interval index the join stabs against.
+///
+/// Exposed so callers joining repeatedly against the same job log (e.g.
+/// at several severities) can build the index once and share it via
+/// [`attribute_events_with`].
+#[must_use]
+pub fn job_span_index(jobs: &[JobRecord]) -> IntervalIndex {
+    IntervalIndex::build(
+        jobs.iter().map(|j| (j.started_at, j.ended_at)),
+        JOB_SPAN_BUCKET,
+    )
 }
 
 /// Joins `events` to `jobs`: an event is attributed to every job whose
@@ -61,31 +84,61 @@ impl JoinResult {
 ///
 /// `min_severity` filters events before the join (the paper's impact
 /// analysis uses FATAL; pass [`Severity::Info`] to keep everything).
+#[must_use]
 pub fn attribute_events(
     jobs: &[JobRecord],
     events: &[RasRecord],
     min_severity: Severity,
 ) -> JoinResult {
-    let index = IntervalIndex::build(
-        jobs.iter().map(|j| (j.started_at, j.ended_at)).collect(),
-        Span::from_hours(6),
-    );
-    let mut pairs = Vec::new();
-    for (event_idx, ev) in events.iter().enumerate() {
-        if ev.severity < min_severity {
-            continue;
-        }
-        for job_idx in index.stab(ev.event_time) {
-            if jobs[job_idx].block.contains(&ev.location) {
-                pairs.push(Attribution { event_idx, job_idx });
+    attribute_events_with(jobs, events, min_severity, &job_span_index(jobs))
+}
+
+/// [`attribute_events`] against a prebuilt job-span index.
+///
+/// The stab loop runs over contiguous event chunks on scoped threads
+/// (with the `parallel` feature); chunk results are concatenated in
+/// input order, so the pair list is identical to the sequential scan.
+#[must_use]
+pub fn attribute_events_with(
+    jobs: &[JobRecord],
+    events: &[RasRecord],
+    min_severity: Severity,
+    index: &IntervalIndex,
+) -> JoinResult {
+    debug_assert_eq!(index.len(), jobs.len(), "index must cover the job log");
+    let pairs = bgq_par::par_chunk_fold(
+        events,
+        Vec::new,
+        |base, chunk| {
+            let mut pairs = Vec::new();
+            for (off, ev) in chunk.iter().enumerate() {
+                if ev.severity < min_severity {
+                    continue;
+                }
+                let event_idx = base + off;
+                index.stab_each(ev.event_time, |job_idx| {
+                    if jobs[job_idx].block.contains(&ev.location) {
+                        pairs.push(Attribution { event_idx, job_idx });
+                    }
+                });
             }
-        }
-    }
+            pairs
+        },
+        |mut acc, part| {
+            if acc.is_empty() {
+                part
+            } else {
+                acc.extend(part);
+                acc
+            }
+        },
+    );
     JoinResult { pairs }
 }
 
 /// Reference implementation of [`attribute_events`]: quadratic scan.
 /// Exposed for the ablation bench and differential tests.
+#[must_use]
 pub fn attribute_events_brute(
     jobs: &[JobRecord],
     events: &[RasRecord],

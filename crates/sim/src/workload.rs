@@ -181,7 +181,7 @@ pub fn make_spec<R: Rng + ?Sized>(
         Mode::new(32).expect("static"),
         Mode::new(64).expect("static"),
     ]
-    .get(rng.gen_range(0..5))
+    .get(rng.gen_range(0..5usize))
     .expect("in range");
 
     let (base_wt, _) = WALLTIMES[sample_weighted(rng, &WALLTIMES.map(|(_, w)| w))];

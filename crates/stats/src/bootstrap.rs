@@ -3,7 +3,8 @@
 //! Headline quantities like the MTTI get percentile-bootstrap intervals so
 //! EXPERIMENTS.md can report uncertainty, not just point estimates.
 
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A percentile bootstrap confidence interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,11 @@ pub struct BootstrapCi {
 /// to `resamples` resamples (drawn with replacement) for the interval.
 /// Returns `None` if the data are empty or the statistic returns a
 /// non-finite value on the original data.
+///
+/// Each resample draws from its own RNG, seeded from `rng` up front in
+/// resample order. The resamples are therefore independent of execution
+/// order and run on scoped threads with the `parallel` feature — the
+/// interval is bit-identical to the sequential build.
 ///
 /// # Panics
 ///
@@ -49,7 +55,7 @@ pub fn bootstrap_ci<F, R>(
     rng: &mut R,
 ) -> Option<BootstrapCi>
 where
-    F: Fn(&[f64]) -> f64,
+    F: Fn(&[f64]) -> f64 + Sync,
     R: Rng + ?Sized,
 {
     assert!(level > 0.0 && level < 1.0, "level must be in (0,1)");
@@ -61,17 +67,19 @@ where
     if !estimate.is_finite() {
         return None;
     }
-    let mut stats = Vec::with_capacity(resamples);
-    let mut buf = vec![0.0; data.len()];
-    for _ in 0..resamples {
+    // Split the caller's RNG: one seed per resample, drawn sequentially,
+    // so the resample streams don't depend on how work is scheduled.
+    let seeds: Vec<u64> = (0..resamples).map(|_| rng.gen::<u64>()).collect();
+    let raw = bgq_par::par_map(&seeds, |&seed| {
+        let mut r = StdRng::seed_from_u64(seed);
+        let mut buf = vec![0.0; data.len()];
         for slot in buf.iter_mut() {
-            *slot = data[rng.gen_range(0..data.len())];
+            *slot = data[r.gen_range(0..data.len())];
         }
-        let s = statistic(&buf);
-        if s.is_finite() {
-            stats.push(s);
-        }
-    }
+        statistic(&buf)
+    });
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    stats.extend(raw.into_iter().filter(|s| s.is_finite()));
     if stats.is_empty() {
         return None;
     }

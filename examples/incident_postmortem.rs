@@ -52,7 +52,7 @@ fn main() {
 
     // Which jobs were running on the failed hardware?
     let index = IntervalIndex::build(
-        ds.jobs.iter().map(|j| (j.started_at, j.ended_at)).collect(),
+        ds.jobs.iter().map(|j| (j.started_at, j.ended_at)),
         Span::from_hours(6),
     );
     let victims: Vec<_> = index

@@ -132,7 +132,8 @@ fn mtti_counts_system_kills_exactly() {
 #[test]
 fn effective_incidents_are_consistent_with_kills() {
     let (out, a) = trace();
-    let effective = effective_incidents(&out.dataset.jobs, &a.filter.incidents);
+    let effective =
+        effective_incidents(&out.dataset.jobs, &out.dataset.ras, &a.filter.incidents);
     // Every system kill implies a logical failure that hit a running job;
     // the filtered incident set must show at least (roughly) that many
     // effective incidents. (Groups, not raw strikes: the filter merges

@@ -1,0 +1,535 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a deterministic random property-testing harness exposing the
+//! subset of proptest's API that the workspace's test suites use:
+//! [`Strategy`] with `prop_map`/`prop_flat_map`, range and tuple
+//! strategies, [`Just`], [`prop_oneof!`], [`collection::vec`],
+//! [`string::string_regex`], [`prop_compose!`], and the [`proptest!`]
+//! macro itself.
+//!
+//! Unlike upstream proptest there is **no shrinking**: a failing case
+//! panics with the case number and the test's RNG is deterministic
+//! (seeded from the test's full module path), so failures reproduce
+//! exactly across runs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    //! The per-test deterministic RNG and run configuration.
+
+    use super::*;
+
+    /// Deterministic generator driving all strategies of one test case.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// The RNG for `case` of the test uniquely named `name`.
+        pub fn for_case(name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng(StdRng::seed_from_u64(h ^ (u64::from(case) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        }
+
+        /// Raw 64-bit draw (used by the combinators).
+        pub fn next_u64(&mut self) -> u64 {
+            use rand::RngCore;
+            self.0.next_u64()
+        }
+    }
+
+    /// Run configuration: how many random cases each property gets.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the single-core CI
+            // budget reasonable while still exercising the space.
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub use test_runner::Config as ProptestConfig;
+use test_runner::TestRng;
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Boxes the strategy behind a trait object.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `variants`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variants` is empty.
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = (rng.next_u64() % self.variants.len() as u64) as usize;
+        self.variants[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// Length bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// A strategy producing strings matching a (limited) regex.
+    pub struct RegexStrategy {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let span = (self.max - self.min) as u64 + 1;
+            let len = self.min + (rng.next_u64() % span) as usize;
+            (0..len)
+                .map(|_| self.chars[(rng.next_u64() % self.chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    /// Builds a strategy for strings matching `pattern`.
+    ///
+    /// Only the form `[class]{m,n}` (one character class with a counted
+    /// repetition) is supported — the single shape the workspace's tests
+    /// use. Classes may contain ranges (`a-z`), escapes (`\n`, `\t`,
+    /// `\\`, `\"`), and literal characters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for any unsupported pattern.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        let rest = pattern
+            .strip_prefix('[')
+            .ok_or_else(|| format!("unsupported pattern (want [class]{{m,n}}): {pattern:?}"))?;
+        let close = rest
+            .find(']')
+            .ok_or_else(|| format!("unterminated class in {pattern:?}"))?;
+        let (class, tail) = rest.split_at(close);
+        let tail = &tail[1..];
+
+        let mut chars = Vec::new();
+        let mut it = class.chars().peekable();
+        while let Some(c) = it.next() {
+            let lit = if c == '\\' {
+                match it.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(other) => other,
+                    None => return Err(format!("dangling escape in {pattern:?}")),
+                }
+            } else {
+                c
+            };
+            if it.peek() == Some(&'-') {
+                let mut ahead = it.clone();
+                ahead.next(); // consume '-'
+                if let Some(&end) = ahead.peek() {
+                    if end != ']' {
+                        it = ahead;
+                        it.next();
+                        for v in (lit as u32)..=(end as u32) {
+                            if let Some(ch) = char::from_u32(v) {
+                                chars.push(ch);
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+            chars.push(lit);
+        }
+        if chars.is_empty() {
+            return Err(format!("empty character class in {pattern:?}"));
+        }
+
+        let (min, max) = if tail.is_empty() {
+            (1, 1)
+        } else {
+            let counts = tail
+                .strip_prefix('{')
+                .and_then(|t| t.strip_suffix('}'))
+                .ok_or_else(|| format!("unsupported repetition in {pattern:?}"))?;
+            let (lo, hi) = counts
+                .split_once(',')
+                .ok_or_else(|| format!("unsupported repetition in {pattern:?}"))?;
+            (
+                lo.trim().parse::<usize>().map_err(|e| e.to_string())?,
+                hi.trim().parse::<usize>().map_err(|e| e.to_string())?,
+            )
+        };
+        Ok(RegexStrategy { chars, min, max })
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface, mirroring `proptest::prelude::*`.
+
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_compose, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Just, Strategy};
+}
+
+/// Asserts a property holds; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two expressions are equal; panics otherwise.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Uniform choice among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($strategy) as $crate::BoxedStrategy<_>,)+
+        ])
+    };
+}
+
+/// Composes named sub-strategies into a derived-value strategy,
+/// mirroring proptest's `prop_compose!`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($argn:ident: $argt:ty),* $(,)?)
+            ($($pat:pat in $strategy:expr),+ $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($argn: $argt),*) -> impl $crate::Strategy<Value = $ret> {
+            $crate::Strategy::prop_map(
+                ($($strategy,)+),
+                move |($($pat,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Defines deterministic random property tests, mirroring proptest's
+/// `proptest!` macro (without shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_tests!({ $config } $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!(
+            { <$crate::test_runner::Config as Default>::default() }
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ({ $config:expr }) => {};
+    (
+        { $config:expr }
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            for case in 0..config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_tests!({ $config } $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..10, y in -5i64..=5, f in 0.0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_honor_size_range(v in crate::collection::vec(0u32..100, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), 5u8..7]) {
+            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+    }
+
+    prop_compose! {
+        fn arb_pair()(a in 0u32..10, b in 0u32..10) -> (u32, u32) { (a, b) }
+    }
+
+    proptest! {
+        #[test]
+        fn compose_works(p in arb_pair()) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+        }
+
+        #[test]
+        fn string_regex_char_class(s in crate::string::string_regex("[ -~\n\"]{0,40}").expect("valid")) {
+            prop_assert!(s.len() <= 40);
+            for c in s.chars() {
+                prop_assert!(c == '\n' || (' '..='~').contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let strat = crate::collection::vec(0u64..1_000_000, 5..10);
+        let a = crate::Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("x", 3));
+        let b = crate::Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("x", 3));
+        assert_eq!(a, b);
+    }
+}
