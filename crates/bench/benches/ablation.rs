@@ -49,9 +49,10 @@ fn bench_filter_stage_ablation(c: &mut Criterion) {
         ("temporal-only", &coarse_only),
     ] {
         let outcome = filter_events(ras, cfg);
-        eprintln!(
+        bgq_obs::info!(
             "ablation[{name}]: {} incidents (logical truth {truth}, {strikes} strikes, {} raw records)",
-            outcome.after_similarity, outcome.raw_fatal
+            outcome.after_similarity,
+            outcome.raw_fatal
         );
     }
 
@@ -85,7 +86,7 @@ fn bench_temporal_gap_sensitivity(c: &mut Criterion) {
             ..FilterConfig::default()
         };
         let outcome = filter_events(ras, &cfg);
-        eprintln!(
+        bgq_obs::info!(
             "gap {mins} min -> {} incidents (logical truth {})",
             outcome.after_similarity,
             out.truth.logical_incident_count()

@@ -5,6 +5,9 @@
 //! cargo run --release -p bgq-bench --bin experiments -- e7 e11 e12
 //! cargo run --release -p bgq-bench --bin experiments -- --full --all   # 2001 days
 //! ```
+//!
+//! Progress goes to stderr through `bgq-obs`; `--quiet` silences it so
+//! the stdout tables can be piped machine-clean.
 
 use std::process::ExitCode;
 
@@ -15,6 +18,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let full = args.iter().any(|a| a == "--full");
     let all = args.iter().any(|a| a == "--all");
+    if args.iter().any(|a| a == "--quiet") {
+        bgq_obs::set_verbosity(bgq_obs::Verbosity::Quiet);
+    }
     let days = args
         .iter()
         .position(|a| a == "--days")
@@ -40,7 +46,7 @@ fn main() -> ExitCode {
     }
     if ids.is_empty() && !all {
         eprintln!(
-            "usage: experiments [--full] [--days N] (--all | e1 .. e14)\nvalid ids: {}",
+            "usage: experiments [--full] [--quiet] [--days N] (--all | e1 .. e14)\nvalid ids: {}",
             EXPERIMENT_IDS.join(", ")
         );
         return ExitCode::FAILURE;
@@ -58,13 +64,14 @@ fn main() -> ExitCode {
             ..SimConfig::mira_2k_days()
         }
     };
-    eprintln!(
+    bgq_obs::info!(
         "generating {} days of synthetic Mira logs (seed {}) and running the analysis ...",
-        config.days, config.seed
+        config.days,
+        config.seed
     );
     let started = std::time::Instant::now();
     let ctx = ExperimentCtx::new(config);
-    eprintln!(
+    bgq_obs::info!(
         "trace ready in {:.1}s: {} jobs, {} RAS records",
         started.elapsed().as_secs_f64(),
         ctx.output.dataset.jobs.len(),

@@ -4,14 +4,16 @@
 //! returns the text to print — making every command unit-testable.
 
 use std::fmt;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use bgq_core::analysis::Analysis;
 use bgq_core::filtering::FilterConfig;
+use bgq_core::index::DatasetIndex;
 use bgq_core::report::{group_thousands, percent, Align, Table};
 use bgq_core::takeaways::takeaways;
-use bgq_logs::store::Dataset;
-use bgq_model::Span;
+use bgq_logs::store::{Dataset, LoadOptions};
+use bgq_model::{Severity, Span};
+use bgq_obs::manifest::RunManifest;
 use bgq_sim::{generate, SimConfig};
 
 /// Errors surfaced to the user (exit code 1, message on stderr).
@@ -21,6 +23,13 @@ pub enum CliError {
     Usage(String),
     /// Dataset load/save failure.
     Store(bgq_logs::store::StoreError),
+    /// `--metrics` manifest could not be written.
+    Metrics {
+        /// Destination the manifest was headed for.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -28,6 +37,9 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Store(e) => write!(f, "dataset error: {e}"),
+            CliError::Metrics { path, source } => {
+                write!(f, "failed writing metrics to {}: {source}", path.display())
+            }
         }
     }
 }
@@ -43,6 +55,15 @@ impl From<bgq_logs::store::StoreError> for CliError {
 /// Usage text shown by `help` and on argument errors.
 pub const USAGE: &str = "\
 mira-mine — Mira BG/Q failure-mining toolkit (DSN 2019 reproduction)
+
+GLOBAL FLAGS (valid before or after any command):
+  --quiet                silence info/warning diagnostics on stderr
+  --trace[=tree|json]    append the run's stage timings and counters to the
+                         output (default: tree)
+  --metrics PATH         write the run manifest as JSON to PATH
+  --max-reject-ratio R   load datasets leniently: skip damaged CSV rows and
+                         fail only when a table's reject ratio exceeds R
+                         (e.g. 0.01); without it, any damaged row is fatal
 
 USAGE:
   mira-mine gen --out DIR [--days N] [--seed S] [--full]
@@ -68,6 +89,12 @@ USAGE:
   mira-mine predict DIR
       Run the precursor-based fatal-incident predictor and print its
       precision/recall/lead-time evaluation.
+
+  mira-mine profile [DIR] [--days N] [--seed S]
+      Run the full indexed analysis under instrumentation and print the
+      hottest pipeline stages. Without DIR, profiles a simulated trace
+      (default 30 days, seed 1). Combine with --metrics to capture the
+      run manifest as JSON.
 
   mira-mine help
       Show this message.";
@@ -95,22 +122,150 @@ fn parse_num<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option
     }
 }
 
+/// How `--trace` renders the collected observability data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TraceFormat {
+    Tree,
+    Json,
+}
+
+/// Global flags shared by every command, stripped before dispatch.
+#[derive(Debug, Default)]
+struct GlobalOpts {
+    quiet: bool,
+    trace: Option<TraceFormat>,
+    metrics: Option<PathBuf>,
+    max_reject_ratio: Option<f64>,
+}
+
+/// Separates the global flags from the command-specific arguments.
+fn split_global_flags(args: &[String]) -> Result<(Vec<String>, GlobalOpts), CliError> {
+    let mut rest = Vec::new();
+    let mut opts = GlobalOpts::default();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quiet" => opts.quiet = true,
+            "--trace" | "--trace=tree" => opts.trace = Some(TraceFormat::Tree),
+            "--trace=json" => opts.trace = Some(TraceFormat::Json),
+            "--metrics" => match iter.next() {
+                Some(v) => opts.metrics = Some(PathBuf::from(v)),
+                None => return Err(CliError::Usage("--metrics requires a path".into())),
+            },
+            "--max-reject-ratio" => match iter.next() {
+                Some(v) => {
+                    let ratio: f64 = v.parse().map_err(|_| {
+                        CliError::Usage(format!("invalid value for --max-reject-ratio: {v:?}"))
+                    })?;
+                    if !(0.0..=1.0).contains(&ratio) {
+                        return Err(CliError::Usage(
+                            "--max-reject-ratio must be between 0 and 1".into(),
+                        ));
+                    }
+                    opts.max_reject_ratio = Some(ratio);
+                }
+                None => {
+                    return Err(CliError::Usage("--max-reject-ratio requires a value".into()))
+                }
+            },
+            other if other.starts_with("--trace=") => {
+                return Err(CliError::Usage(format!(
+                    "unknown trace format {:?} (expected tree or json)",
+                    &other["--trace=".len()..]
+                )))
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
 /// Parses and executes a command line (without the program name).
 ///
 /// # Errors
 ///
-/// Returns [`CliError::Usage`] for malformed invocations and
-/// [`CliError::Store`] when the dataset cannot be read or written.
+/// Returns [`CliError::Usage`] for malformed invocations,
+/// [`CliError::Store`] when the dataset cannot be read or written, and
+/// [`CliError::Metrics`] when a `--metrics` manifest cannot be written.
 pub fn run(args: &[String]) -> Result<String, CliError> {
-    match args.first().map(String::as_str) {
-        Some("gen") => cmd_gen(&args[1..]),
-        Some("analyze") => cmd_analyze(&args[1..]),
-        Some("report") => cmd_report(&args[1..]),
-        Some("filter") => cmd_filter(&args[1..]),
-        Some("lifetime") => cmd_lifetime(&args[1..]),
-        Some("predict") => cmd_predict(&args[1..]),
+    let (rest, opts) = split_global_flags(args)?;
+    if opts.quiet {
+        bgq_obs::set_verbosity(bgq_obs::Verbosity::Quiet);
+    }
+    let before = bgq_obs::snapshot();
+    let mut out = match rest.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&rest[1..]),
+        Some("analyze") => cmd_analyze(&rest[1..], &opts),
+        Some("report") => cmd_report(&rest[1..], &opts),
+        Some("filter") => cmd_filter(&rest[1..], &opts),
+        Some("lifetime") => cmd_lifetime(&rest[1..], &opts),
+        Some("predict") => cmd_predict(&rest[1..], &opts),
+        Some("profile") => cmd_profile(&rest[1..], &opts),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }?;
+    emit_observability(&before, args, &opts, &mut out)?;
+    Ok(out)
+}
+
+/// Appends/writes the run manifest when `--trace` / `--metrics` ask for it.
+fn emit_observability(
+    before: &bgq_obs::Snapshot,
+    args: &[String],
+    opts: &GlobalOpts,
+    out: &mut String,
+) -> Result<(), CliError> {
+    if opts.trace.is_none() && opts.metrics.is_none() {
+        return Ok(());
+    }
+    let manifest = RunManifest::new(bgq_obs::snapshot().since(before))
+        .with_meta("command", format!("mira-mine {}", args.join(" ")))
+        .with_meta("features", feature_list())
+        .with_meta("threads", thread_count().to_string());
+    match opts.trace {
+        Some(TraceFormat::Tree) => {
+            out.push('\n');
+            out.push_str(&manifest.to_tree());
+        }
+        Some(TraceFormat::Json) => {
+            out.push('\n');
+            out.push_str(&manifest.to_json());
+        }
+        None => {}
+    }
+    if let Some(path) = &opts.metrics {
+        std::fs::write(path, manifest.to_json()).map_err(|source| CliError::Metrics {
+            path: path.clone(),
+            source,
+        })?;
+    }
+    Ok(())
+}
+
+/// The compile-time features that shape a run, as a comma list.
+fn feature_list() -> String {
+    let mut features = Vec::new();
+    if bgq_obs::enabled() {
+        features.push("obs");
+    }
+    if cfg!(feature = "parallel") {
+        features.push("parallel");
+    }
+    if features.is_empty() {
+        "none".to_owned()
+    } else {
+        features.join(",")
+    }
+}
+
+/// Worker threads the parallel substrate will use (1 when sequential).
+fn thread_count() -> usize {
+    if bgq_par::is_parallel() {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        1
     }
 }
 
@@ -142,16 +297,40 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-fn load(args: &[String]) -> Result<Dataset, CliError> {
-    let dir = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or_else(|| CliError::Usage("missing dataset directory".into()))?;
-    Ok(Dataset::load_dir(std::path::Path::new(dir))?)
+/// The first positional argument, skipping flags and their values.
+fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a String> {
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if value_flags.iter().any(|f| f == a) {
+            iter.next();
+        } else if !a.starts_with("--") {
+            return Some(a);
+        }
+    }
+    None
 }
 
-fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
-    let ds = load(args)?;
+fn load(args: &[String], opts: &GlobalOpts) -> Result<Dataset, CliError> {
+    let dir = positional(args, &["--gap-mins", "--window-hours", "--window-days"])
+        .ok_or_else(|| CliError::Usage("missing dataset directory".into()))?;
+    load_dataset(Path::new(dir), opts)
+}
+
+/// Loads a dataset strictly, or leniently when `--max-reject-ratio` was
+/// given (damaged rows are skipped and counted; the per-table totals land
+/// in the run manifest via the store's counters).
+fn load_dataset(dir: &Path, opts: &GlobalOpts) -> Result<Dataset, CliError> {
+    match opts.max_reject_ratio {
+        Some(max_reject_ratio) => {
+            let (ds, _report) = Dataset::load_dir_with(dir, &LoadOptions { max_reject_ratio })?;
+            Ok(ds)
+        }
+        None => Ok(Dataset::load_dir(dir)?),
+    }
+}
+
+fn cmd_analyze(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    let ds = load(args, opts)?;
     let a = Analysis::run(&ds);
     let mut out = String::new();
 
@@ -239,8 +418,8 @@ fn cmd_analyze(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_report(args: &[String]) -> Result<String, CliError> {
-    let ds = load(args)?;
+fn cmd_report(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    let ds = load(args, opts)?;
     let a = Analysis::run(&ds);
     let mut out = String::from("The 22 takeaways, re-derived from this trace:\n\n");
     for t in takeaways(&a) {
@@ -249,8 +428,8 @@ fn cmd_report(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_filter(args: &[String]) -> Result<String, CliError> {
-    let ds = load(args)?;
+fn cmd_filter(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    let ds = load(args, opts)?;
     let mut config = FilterConfig::default();
     if let Some(gap) = parse_num::<i64>(args, "--gap-mins")? {
         config.temporal_gap = Span::from_mins(gap);
@@ -288,8 +467,8 @@ fn cmd_filter(args: &[String]) -> Result<String, CliError> {
     Ok(table.render())
 }
 
-fn cmd_lifetime(args: &[String]) -> Result<String, CliError> {
-    let ds = load(args)?;
+fn cmd_lifetime(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    let ds = load(args, opts)?;
     let window: u32 = parse_num(args, "--window-days")?.unwrap_or(90);
     if window == 0 {
         return Err(CliError::Usage("--window-days must be positive".into()));
@@ -323,10 +502,10 @@ fn cmd_lifetime(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_predict(args: &[String]) -> Result<String, CliError> {
+fn cmd_predict(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     use bgq_core::filtering::{filter_events, FilterConfig};
     use bgq_core::prediction::{predict_and_evaluate, PredictorConfig};
-    let ds = load(args)?;
+    let ds = load(args, opts)?;
     let incidents = filter_events(&ds.ras, &FilterConfig::default()).incidents;
     let report = predict_and_evaluate(&ds.ras, &incidents, &PredictorConfig::default());
     let mut table = Table::new(
@@ -359,6 +538,109 @@ fn cmd_predict(args: &[String]) -> Result<String, CliError> {
             .unwrap_or_else(|| "n/a".into()),
     ]);
     Ok(table.render())
+}
+
+/// A cheap, stable identity for "the dataset this run analyzed": record
+/// counts plus first/last timestamps per table, FNV-1a folded.
+#[must_use]
+pub fn dataset_fingerprint(ds: &Dataset) -> u64 {
+    let mut h = bgq_obs::fnv::Fnv64::new();
+    h.write_u64(ds.jobs.len() as u64);
+    h.write_u64(ds.ras.len() as u64);
+    h.write_u64(ds.tasks.len() as u64);
+    h.write_u64(ds.io.len() as u64);
+    if let (Some(first), Some(last)) = (ds.jobs.first(), ds.jobs.last()) {
+        h.write_i64(first.started_at.as_secs());
+        h.write_i64(last.ended_at.as_secs());
+        h.write_u64(first.job_id.raw());
+        h.write_u64(last.job_id.raw());
+    }
+    if let (Some(first), Some(last)) = (ds.ras.first(), ds.ras.last()) {
+        h.write_i64(first.event_time.as_secs());
+        h.write_i64(last.event_time.as_secs());
+    }
+    h.finish()
+}
+
+fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    let days: u32 = parse_num(args, "--days")?.unwrap_or(30);
+    let seed: u64 = parse_num(args, "--seed")?.unwrap_or(1);
+    let dir = positional(args, &["--days", "--seed"]);
+
+    let before = bgq_obs::snapshot();
+    let (ds, source) = match dir {
+        Some(d) => (load_dataset(Path::new(d), opts)?, d.clone()),
+        None => (
+            generate(&SimConfig::small(days).with_seed(seed)).dataset,
+            format!("simulated ({days} days, seed {seed})"),
+        ),
+    };
+    let fingerprint = dataset_fingerprint(&ds);
+    bgq_obs::gauge_set("dataset.fingerprint", fingerprint);
+    bgq_obs::gauge_set("run.threads", thread_count() as u64);
+
+    let idx = DatasetIndex::build(&ds);
+    let analysis = Analysis::run_indexed(&idx);
+    // Memo probe: run_indexed already built the Warn join for the
+    // user-correlation stage; this second consumer must hit the memo,
+    // which shows up as `index.join.memo_hit{warn}` in the manifest.
+    let _ = bgq_core::ras_analysis::affected_jobs_indexed(&idx, Severity::Warn);
+    let delta = bgq_obs::snapshot().since(&before);
+
+    let mut out = format!(
+        "profiled {} — {} jobs, {} RAS events (fingerprint {fingerprint:016x})\n\n",
+        source,
+        group_thousands(ds.jobs.len() as u64),
+        group_thousands(ds.ras.len() as u64),
+    );
+    if delta.spans.is_empty() {
+        out.push_str(
+            "no stage timings collected — this binary was built without the `obs` feature\n",
+        );
+        return Ok(out);
+    }
+
+    let profile = RunManifest::new(delta);
+    let mut table = Table::new(
+        vec!["stage".into(), "calls".into(), "wall (ms)".into(), "mean (ms)".into()],
+        vec![Align::Left, Align::Right, Align::Right, Align::Right],
+    );
+    for (name, stat) in profile.hot_stages() {
+        table.row(vec![
+            name.to_owned(),
+            stat.calls.to_string(),
+            format!("{:.3}", stat.wall_ms()),
+            format!("{:.3}", stat.wall_ms() / stat.calls.max(1) as f64),
+        ]);
+    }
+    out.push_str("hottest stages (wall time summed across threads):\n");
+    out.push_str(&table.render());
+
+    out.push_str(&format!(
+        "\nfilter funnel: {} raw FATAL -> {} temporal -> {} spatial -> {} incidents\n",
+        analysis.filter.raw_fatal,
+        analysis.filter.after_temporal,
+        analysis.filter.after_spatial,
+        analysis.filter.after_similarity,
+    ));
+    let candidates = profile.snapshot.counter("join.candidates", "");
+    let emitted = profile.snapshot.counter("join.emitted", "");
+    if candidates > 0 {
+        out.push_str(&format!(
+            "job/RAS join: {} candidate pairs -> {} attributed\n",
+            group_thousands(candidates),
+            group_thousands(emitted),
+        ));
+    }
+    for ((name, label), builds) in &profile.snapshot.counters {
+        if name == "index.join.memo_miss" {
+            let hits = profile.snapshot.counter("index.join.memo_hit", label);
+            out.push_str(&format!(
+                "join memo ({label}): built {builds}x, reused {hits}x\n"
+            ));
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -425,5 +707,119 @@ mod tests {
         let dir = temp_dir("badnum");
         let err = run(&s(&["gen", "--out", dir.to_str().unwrap(), "--days", "soon"])).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn bad_global_flags_are_usage_errors() {
+        for bad in [
+            &["--trace=xml", "help"][..],
+            &["--metrics"],
+            &["--max-reject-ratio"],
+            &["--max-reject-ratio", "1.5", "help"],
+            &["--max-reject-ratio", "lots", "help"],
+        ] {
+            let err = run(&s(bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn profile_runs_on_a_simulated_trace() {
+        let out = run(&s(&["profile", "--days", "5", "--seed", "7"])).unwrap();
+        assert!(out.contains("profiled simulated (5 days, seed 7)"), "{out}");
+        assert!(out.contains("fingerprint"), "{out}");
+        if bgq_obs::enabled() {
+            assert!(out.contains("analysis.run"), "{out}");
+            assert!(out.contains("filter funnel:"), "{out}");
+            assert!(out.contains("join memo (warn)"), "{out}");
+        } else {
+            assert!(out.contains("built without the `obs` feature"), "{out}");
+        }
+    }
+
+    #[test]
+    fn metrics_flag_writes_a_json_manifest() {
+        let path = temp_dir("metrics").with_extension("json");
+        let out = run(&s(&[
+            "profile",
+            "--days",
+            "4",
+            "--metrics",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("profiled"), "{out}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in ["\"meta\"", "\"spans\"", "\"counters\"", "\"gauges\"", "\"command\""] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        if bgq_obs::enabled() {
+            assert!(json.contains("analysis.run"), "{json}");
+            assert!(json.contains("filter.funnel"), "{json}");
+            assert!(json.contains("index.join.memo_hit"), "{json}");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metrics_unwritable_path_is_a_metrics_error() {
+        let err = run(&s(&[
+            "profile",
+            "--days",
+            "3",
+            "--metrics",
+            "/nonexistent-dir/manifest.json",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Metrics { .. }), "{err}");
+    }
+
+    #[test]
+    fn trace_flag_appends_stage_tree() {
+        let out = run(&s(&["--trace", "profile", "--days", "3"])).unwrap();
+        assert!(out.contains("command: mira-mine --trace profile"), "{out}");
+        if bgq_obs::enabled() {
+            assert!(out.contains("stages (wall time summed across threads):"), "{out}");
+            assert!(out.contains("features: obs"), "{out}");
+        } else {
+            assert!(!out.contains("stages ("), "{out}");
+            assert!(!out.contains("features: obs"), "{out}");
+        }
+    }
+
+    #[test]
+    fn lenient_load_tolerates_a_damaged_row() {
+        let dir = temp_dir("lenient");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        run(&s(&["gen", "--out", &dir_str, "--days", "6", "--seed", "5"])).unwrap();
+
+        // Mangle one data row of jobs.csv so strict loading fails.
+        let jobs_path = dir.join("jobs.csv");
+        let text = std::fs::read_to_string(&jobs_path).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() > 2, "need at least one data row");
+        let mangled = "this is not a valid job record at all".to_owned();
+        lines[1] = &mangled;
+        std::fs::write(&jobs_path, lines.join("\n")).unwrap();
+
+        let err = run(&s(&["analyze", &dir_str])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+
+        let out = run(&s(&[
+            "--quiet",
+            "--max-reject-ratio",
+            "0.05",
+            "analyze",
+            &dir_str,
+        ]))
+        .unwrap();
+        assert!(out.contains("exit classes"), "{out}");
+
+        // A zero ceiling turns the same damage back into an error.
+        let err = run(&s(&["--max-reject-ratio", "0", "analyze", &dir_str])).unwrap_err();
+        assert!(err.to_string().contains("reject"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -118,6 +118,7 @@ impl Analysis {
     /// is field-for-field identical to the sequential build.
     #[must_use]
     pub fn run_indexed(idx: &DatasetIndex<'_>) -> Self {
+        let _run = bgq_obs::span!("analysis.run");
         let jobs = idx.jobs;
         let (
             (class_fits, interval_fit, lifetime),
@@ -127,55 +128,75 @@ impl Analysis {
         ) = bgq_par::join4(
             || {
                 (
-                    fit_by_class_indexed(idx, MIN_FIT_SAMPLES),
-                    fit_interruption_intervals_indexed(idx),
-                    lifetime_series_indexed(idx, 90),
+                    bgq_obs::time("analysis.fit.by_class", || {
+                        fit_by_class_indexed(idx, MIN_FIT_SAMPLES)
+                    }),
+                    bgq_obs::time("analysis.fit.intervals", || {
+                        fit_interruption_intervals_indexed(idx)
+                    }),
+                    bgq_obs::time("analysis.lifetime", || lifetime_series_indexed(idx, 90)),
                 )
             },
             || {
                 (
-                    user_event_correlation_indexed(idx, Severity::Warn),
-                    breakdown(idx.ras, 10),
-                    io_outcome_stats(jobs, idx.io),
+                    bgq_obs::time("analysis.ras.user_correlation", || {
+                        user_event_correlation_indexed(idx, Severity::Warn)
+                    }),
+                    bgq_obs::time("analysis.ras.breakdown", || breakdown(idx.ras, 10)),
+                    bgq_obs::time("analysis.io", || io_outcome_stats(jobs, idx.io)),
                 )
             },
             || {
                 (
-                    predict_and_evaluate(
-                        idx.ras,
-                        &idx.filter.incidents,
-                        &PredictorConfig::default(),
-                    ),
-                    interruption_stats_indexed(idx),
-                    locality_map_indexed(idx, Severity::Fatal, Level::Board),
-                    locality_map_indexed(idx, Severity::Fatal, Level::Rack),
+                    bgq_obs::time("analysis.predict", || {
+                        predict_and_evaluate(
+                            idx.ras,
+                            &idx.filter.incidents,
+                            &PredictorConfig::default(),
+                        )
+                    }),
+                    bgq_obs::time("analysis.interruptions", || {
+                        interruption_stats_indexed(idx)
+                    }),
+                    bgq_obs::time("analysis.locality.boards", || {
+                        locality_map_indexed(idx, Severity::Fatal, Level::Board)
+                    }),
+                    bgq_obs::time("analysis.locality.racks", || {
+                        locality_map_indexed(idx, Severity::Fatal, Level::Rack)
+                    }),
                 )
             },
             || {
                 (
-                    DatasetTotals::compute(jobs),
-                    size_mix(jobs),
-                    per_user(jobs),
-                    per_project(jobs),
-                    (
-                        by_scale(jobs),
-                        by_tasks(jobs),
-                        by_core_hours(jobs),
-                        by_consumed_core_hours(jobs),
-                    ),
-                    (
-                        waits_by_size(jobs),
-                        waits_by_queue(jobs),
-                        mean_utilization(jobs, &bgq_model::Machine::MIRA),
-                    ),
-                    (
-                        TemporalProfile::compute(jobs.iter().map(|j| j.queued_at)),
-                        TemporalProfile::compute(
-                            jobs.iter()
-                                .filter(|j| j.exit_code != 0)
-                                .map(|j| j.ended_at),
-                        ),
-                    ),
+                    bgq_obs::time("analysis.jobs.totals", || DatasetTotals::compute(jobs)),
+                    bgq_obs::time("analysis.jobs.size_mix", || size_mix(jobs)),
+                    bgq_obs::time("analysis.jobs.per_user", || per_user(jobs)),
+                    bgq_obs::time("analysis.jobs.per_project", || per_project(jobs)),
+                    bgq_obs::time("analysis.rates", || {
+                        (
+                            by_scale(jobs),
+                            by_tasks(jobs),
+                            by_core_hours(jobs),
+                            by_consumed_core_hours(jobs),
+                        )
+                    }),
+                    bgq_obs::time("analysis.queueing", || {
+                        (
+                            waits_by_size(jobs),
+                            waits_by_queue(jobs),
+                            mean_utilization(jobs, &bgq_model::Machine::MIRA),
+                        )
+                    }),
+                    bgq_obs::time("analysis.temporal", || {
+                        (
+                            TemporalProfile::compute(jobs.iter().map(|j| j.queued_at)),
+                            TemporalProfile::compute(
+                                jobs.iter()
+                                    .filter(|j| j.exit_code != 0)
+                                    .map(|j| j.ended_at),
+                            ),
+                        )
+                    }),
                 )
             },
         );
@@ -188,8 +209,12 @@ impl Analysis {
             size_mix: size_mix_v,
             per_user: per_user_v,
             per_project: per_project_v,
-            class_breakdown: class_breakdown_indexed(idx),
-            user_caused_share: user_caused_share_indexed(idx),
+            class_breakdown: bgq_obs::time("analysis.class_breakdown", || {
+                class_breakdown_indexed(idx)
+            }),
+            user_caused_share: bgq_obs::time("analysis.user_caused_share", || {
+                user_caused_share_indexed(idx)
+            }),
             rate_by_scale,
             rate_by_tasks,
             rate_by_core_hours,

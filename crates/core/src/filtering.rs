@@ -130,6 +130,7 @@ struct Cluster {
 /// be sorted by `event_time`, as [`bgq_logs::store::Dataset::normalize`]
 /// guarantees).
 pub fn filter_events(ras: &[RasRecord], config: &FilterConfig) -> FilterOutcome {
+    let _span = bgq_obs::span!("filter.funnel");
     debug_assert!(ras.windows(2).all(|w| w[0].event_time <= w[1].event_time));
     let fatal: Vec<usize> = ras
         .iter()
@@ -145,82 +146,97 @@ pub fn filter_events(ras: &[RasRecord], config: &FilterConfig) -> FilterOutcome 
     };
 
     // Stage 1: temporal tupling.
-    let mut temporal: Vec<Vec<usize>> = Vec::new();
-    for &idx in &fatal {
-        let t = ras[idx].event_time;
-        match temporal.last_mut() {
-            Some(cluster)
-                if t - ras[*cluster.last().expect("nonempty")].event_time
-                    <= config.temporal_gap =>
-            {
-                cluster.push(idx);
+    let temporal = bgq_obs::time("filter.funnel.temporal", || {
+        let mut temporal: Vec<Vec<usize>> = Vec::new();
+        for &idx in &fatal {
+            let t = ras[idx].event_time;
+            match temporal.last_mut() {
+                Some(cluster)
+                    if t - ras[*cluster.last().expect("nonempty")].event_time
+                        <= config.temporal_gap =>
+                {
+                    cluster.push(idx);
+                }
+                _ => temporal.push(vec![idx]),
             }
-            _ => temporal.push(vec![idx]),
         }
-    }
+        temporal
+    });
     let after_temporal = temporal.len();
 
     // Stage 2: split each temporal cluster into spatially coherent groups
     // (greedy assignment to the first group whose seed is close enough).
-    let mut spatial: Vec<Cluster> = Vec::new();
-    for cluster in &temporal {
-        let mut groups: Vec<Cluster> = Vec::new();
-        for &idx in cluster {
-            let rec = &ras[idx];
-            match groups
-                .iter_mut()
-                .find(|g| g.root.proximity(&rec.location) <= config.spatial_proximity)
-            {
-                Some(g) => {
-                    g.events.push(idx);
-                    g.end = rec.event_time;
+    let spatial = bgq_obs::time("filter.funnel.spatial", || {
+        let mut spatial: Vec<Cluster> = Vec::new();
+        for cluster in &temporal {
+            let mut groups: Vec<Cluster> = Vec::new();
+            for &idx in cluster {
+                let rec = &ras[idx];
+                match groups
+                    .iter_mut()
+                    .find(|g| g.root.proximity(&rec.location) <= config.spatial_proximity)
+                {
+                    Some(g) => {
+                        g.events.push(idx);
+                        g.end = rec.event_time;
+                    }
+                    None => groups.push(Cluster {
+                        start: rec.event_time,
+                        end: rec.event_time,
+                        root: rec.location,
+                        events: vec![idx],
+                        message: rec.message.clone(),
+                        family: rec.msg_id.family(),
+                    }),
                 }
-                None => groups.push(Cluster {
-                    start: rec.event_time,
-                    end: rec.event_time,
-                    root: rec.location,
-                    events: vec![idx],
-                    message: rec.message.clone(),
-                    family: rec.msg_id.family(),
-                }),
             }
+            spatial.extend(groups);
         }
-        spatial.extend(groups);
-    }
-    spatial.sort_by_key(|c| c.start);
+        spatial.sort_by_key(|c| c.start);
+        spatial
+    });
     let after_spatial = spatial.len();
 
     // Stage 3: merge recurring faults — consecutive clusters on the same
     // hardware (same rack), close in time, with the same message family or
     // similar message text.
-    let mut merged: Vec<Cluster> = Vec::new();
-    for cluster in spatial {
-        let mergeable = merged.last().is_some_and(|prev| {
-            cluster.start - prev.end <= config.similarity_window
-                && prev.root.proximity(&cluster.root) <= config.spatial_proximity
-                && (prev.family == cluster.family
-                    || jaccard(&tokens(&prev.message), &tokens(&cluster.message))
-                        >= config.similarity_threshold)
-        });
-        if mergeable {
-            let prev = merged.last_mut().expect("just checked");
-            prev.end = cluster.end;
-            prev.events.extend(cluster.events);
-        } else {
-            merged.push(cluster);
+    let incidents = bgq_obs::time("filter.funnel.similarity", || {
+        let mut merged: Vec<Cluster> = Vec::new();
+        for cluster in spatial {
+            let mergeable = merged.last().is_some_and(|prev| {
+                cluster.start - prev.end <= config.similarity_window
+                    && prev.root.proximity(&cluster.root) <= config.spatial_proximity
+                    && (prev.family == cluster.family
+                        || jaccard(&tokens(&prev.message), &tokens(&cluster.message))
+                            >= config.similarity_threshold)
+            });
+            if mergeable {
+                let prev = merged.last_mut().expect("just checked");
+                prev.end = cluster.end;
+                prev.events.extend(cluster.events);
+            } else {
+                merged.push(cluster);
+            }
         }
-    }
-    let incidents: Vec<FilteredIncident> = merged
-        .into_iter()
-        .map(|c| FilteredIncident {
-            start: c.start,
-            end: c.end,
-            root: c.root,
-            events: c.events,
-            message: c.message,
-            family: c.family,
-        })
-        .collect();
+        merged
+            .into_iter()
+            .map(|c| FilteredIncident {
+                start: c.start,
+                end: c.end,
+                root: c.root,
+                events: c.events,
+                message: c.message,
+                family: c.family,
+            })
+            .collect::<Vec<FilteredIncident>>()
+    });
+
+    // One add per stage (not per record), so the funnel counters are
+    // exact copies of the outcome fields under any thread schedule.
+    bgq_obs::add_labeled("filter.funnel", "raw_fatal", raw_fatal as u64);
+    bgq_obs::add_labeled("filter.funnel", "after_temporal", after_temporal as u64);
+    bgq_obs::add_labeled("filter.funnel", "after_spatial", after_spatial as u64);
+    bgq_obs::add_labeled("filter.funnel", "after_similarity", incidents.len() as u64);
 
     FilterOutcome {
         raw_fatal,

@@ -95,10 +95,14 @@ fn fit_classes(
 ) -> Vec<ClassFit> {
     bgq_par::par_map(&ExitClass::FITTED_USER_CLASSES, |&class| {
         let lengths = lengths_of(class);
+        bgq_obs::add_labeled("fit.samples", class.label(), lengths.len() as u64);
         if lengths.len() < min_samples {
             return None;
         }
-        let selection = select_best(&lengths, &DistKind::PAPER_CANDIDATES);
+        let selection =
+            bgq_obs::time("fit.select_best", || {
+                select_best(&lengths, &DistKind::PAPER_CANDIDATES)
+            });
         Some(ClassFit {
             class,
             n: lengths.len(),

@@ -37,6 +37,15 @@ fn rank(severity: Severity) -> usize {
     }
 }
 
+/// Stable metric label for a severity.
+fn severity_label(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Info => "info",
+        Severity::Warn => "warn",
+        Severity::Fatal => "fatal",
+    }
+}
+
 /// Shared derived state over one [`Dataset`], computed once.
 ///
 /// Cheap artifacts (exit classes, severity partition, job-span interval
@@ -97,21 +106,27 @@ impl<'a> DatasetIndex<'a> {
     /// `parallel` feature.
     #[must_use]
     pub fn build_with(ds: &'a Dataset, config: &FilterConfig) -> Self {
+        let _span = bgq_obs::span!("index.build");
         let (jobs, ras) = (ds.jobs.as_slice(), ds.ras.as_slice());
         let ((exit_classes, jobs_by_end, job_spans), (filter, by_severity)) = bgq_par::join(
             || {
-                let classes = bgq_par::par_map(jobs, |j| ExitClass::from_exit_code(j.exit_code));
-                let mut by_end: Vec<usize> = (0..jobs.len()).collect();
-                by_end.sort_by_key(|&i| (jobs[i].ended_at, i));
-                (classes, by_end, job_span_index(jobs))
+                bgq_obs::time("index.build.jobs", || {
+                    let classes =
+                        bgq_par::par_map(jobs, |j| ExitClass::from_exit_code(j.exit_code));
+                    let mut by_end: Vec<usize> = (0..jobs.len()).collect();
+                    by_end.sort_by_key(|&i| (jobs[i].ended_at, i));
+                    (classes, by_end, job_span_index(jobs))
+                })
             },
             || {
-                let filter = filter_events(ras, config);
-                let mut views: [Vec<usize>; 3] = Default::default();
-                for (i, r) in ras.iter().enumerate() {
-                    views[rank(r.severity)].push(i);
-                }
-                (filter, views)
+                bgq_obs::time("index.build.ras", || {
+                    let filter = filter_events(ras, config);
+                    let mut views: [Vec<usize>; 3] = Default::default();
+                    for (i, r) in ras.iter().enumerate() {
+                        views[rank(r.severity)].push(i);
+                    }
+                    (filter, views)
+                })
             },
         );
         DatasetIndex {
@@ -165,11 +180,26 @@ impl<'a> DatasetIndex<'a> {
     /// The RAS↔job join at `min_severity`, computed on first use and
     /// shared by every later caller (the funnel's breakdown, the user
     /// correlation, and the affected-job count all read one join).
+    ///
+    /// Each call records one `index.join.memo_hit` or
+    /// `index.join.memo_miss` count (labeled by severity), so a run
+    /// manifest can prove the join was built once per severity.
     #[must_use]
     pub fn join(&self, min_severity: Severity) -> &JoinResult {
-        self.joins[rank(min_severity)].get_or_init(|| {
-            attribute_events_with(self.jobs, self.ras, min_severity, &self.job_spans)
-        })
+        let mut missed = false;
+        let join = self.joins[rank(min_severity)].get_or_init(|| {
+            missed = true;
+            bgq_obs::time("index.join.build", || {
+                attribute_events_with(self.jobs, self.ras, min_severity, &self.job_spans)
+            })
+        });
+        let counter = if missed {
+            "index.join.memo_miss"
+        } else {
+            "index.join.memo_hit"
+        };
+        bgq_obs::add_labeled(counter, severity_label(min_severity), 1);
+        join
     }
 
     /// The memoized join at `min_severity`, if some caller already

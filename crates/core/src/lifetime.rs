@@ -137,43 +137,47 @@ fn series_impl(
     };
     let (job_counts, fatal_counts) = bgq_par::join(
         || {
-            bgq_par::par_chunk_fold(
-                jobs,
-                || vec![JobCounts::default(); n_windows],
-                |base, chunk| {
-                    let mut counts = vec![JobCounts::default(); n_windows];
-                    for (off, j) in chunk.iter().enumerate() {
-                        let w = &mut counts[index_of(j.ended_at)];
-                        w.jobs += 1;
-                        let class = class_at(base + off);
-                        w.failed += usize::from(class.is_failure());
-                        w.system_kills += usize::from(class == ExitClass::SystemKill);
-                    }
-                    counts
-                },
-                add,
-            )
+            bgq_obs::time("lifetime.jobs_scatter", || {
+                bgq_par::par_chunk_fold(
+                    jobs,
+                    || vec![JobCounts::default(); n_windows],
+                    |base, chunk| {
+                        let mut counts = vec![JobCounts::default(); n_windows];
+                        for (off, j) in chunk.iter().enumerate() {
+                            let w = &mut counts[index_of(j.ended_at)];
+                            w.jobs += 1;
+                            let class = class_at(base + off);
+                            w.failed += usize::from(class.is_failure());
+                            w.system_kills += usize::from(class == ExitClass::SystemKill);
+                        }
+                        counts
+                    },
+                    add,
+                )
+            })
         },
         || {
-            bgq_par::par_chunk_fold(
-                ras,
-                || vec![0usize; n_windows],
-                |_base, chunk| {
-                    let mut counts = vec![0usize; n_windows];
-                    for r in chunk {
-                        if r.severity == Severity::Fatal {
-                            counts[index_of(r.event_time)] += 1;
+            bgq_obs::time("lifetime.ras_scatter", || {
+                bgq_par::par_chunk_fold(
+                    ras,
+                    || vec![0usize; n_windows],
+                    |_base, chunk| {
+                        let mut counts = vec![0usize; n_windows];
+                        for r in chunk {
+                            if r.severity == Severity::Fatal {
+                                counts[index_of(r.event_time)] += 1;
+                            }
                         }
-                    }
-                    counts
-                },
-                |mut a, b| {
-                    for (x, y) in a.iter_mut().zip(b) {
-                        *x += y;
-                    }
-                    a
-                },
-            )
+                        counts
+                    },
+                    |mut a, b| {
+                        for (x, y) in a.iter_mut().zip(b) {
+                            *x += y;
+                        }
+                        a
+                    },
+                )
+            })
         },
     );
 

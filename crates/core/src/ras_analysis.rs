@@ -25,6 +25,7 @@ pub struct RasBreakdown {
 
 /// Computes the E8 breakdown; `top_k` bounds the message-id list.
 pub fn breakdown(ras: &[RasRecord], top_k: usize) -> RasBreakdown {
+    let _span = bgq_obs::span!("ras.breakdown");
     let mut by_severity = BTreeMap::new();
     let mut by_category = BTreeMap::new();
     let mut by_component = BTreeMap::new();
@@ -85,6 +86,7 @@ pub fn user_event_correlation_indexed(
 
 /// Correlation core over an already-computed join.
 fn correlation_from(jobs: &[JobRecord], join: &JoinResult) -> UserEventCorrelation {
+    let _span = bgq_obs::span!("ras.correlation");
     let mut per_user: BTreeMap<u32, (f64, usize, usize)> = BTreeMap::new();
     for j in jobs {
         let e = per_user.entry(j.user.raw()).or_default();

@@ -139,6 +139,30 @@ impl<R: BufRead> CsvReader<R> {
         }
         Ok(out)
     }
+
+    /// Reads every remaining record, skipping structurally malformed
+    /// ones instead of failing; returns the parsed records and how many
+    /// were rejected.
+    ///
+    /// A [`CsvError::Malformed`] record leaves the reader positioned at
+    /// the next line (the offending text was already consumed), so the
+    /// scan continues past it. I/O errors are still fatal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvError::Io`] on read failures.
+    pub fn read_all_counting(&mut self) -> Result<(Vec<Vec<String>>, usize), CsvError> {
+        let mut out = Vec::new();
+        let mut rejected = 0usize;
+        loop {
+            match self.read_record() {
+                Ok(Some(rec)) => out.push(rec),
+                Ok(None) => return Ok((out, rejected)),
+                Err(CsvError::Malformed { .. }) => rejected += 1,
+                Err(e @ CsvError::Io(_)) => return Err(e),
+            }
+        }
+    }
 }
 
 fn count_unescaped_quotes(s: &str) -> usize {
@@ -299,5 +323,34 @@ mod tests {
         let text = "1,2\n3,4\n5,6\n";
         let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
         assert_eq!(reader.read_all().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn read_all_counting_skips_malformed_records() {
+        // Record 2 has garbage after a closing quote; records 1 and 3
+        // survive the scan.
+        let text = "a,b\n\"x\"y,z\nc,d\n";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        let (records, rejected) = reader.read_all_counting().unwrap();
+        assert_eq!(records, vec![vec!["a", "b"], vec!["c", "d"]]);
+        assert_eq!(rejected, 1);
+    }
+
+    #[test]
+    fn read_all_counting_handles_unterminated_quote_at_eof() {
+        let text = "a,b\n\"unterminated";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        let (records, rejected) = reader.read_all_counting().unwrap();
+        assert_eq!(records, vec![vec!["a", "b"]]);
+        assert_eq!(rejected, 1);
+    }
+
+    #[test]
+    fn read_all_counting_clean_input_rejects_nothing() {
+        let text = "1,2\n3,4\n";
+        let mut reader = CsvReader::new(BufReader::new(text.as_bytes()));
+        let (records, rejected) = reader.read_all_counting().unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(rejected, 0);
     }
 }

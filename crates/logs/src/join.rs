@@ -72,10 +72,12 @@ pub const JOB_SPAN_BUCKET: Span = Span::from_hours(6);
 /// [`attribute_events_with`].
 #[must_use]
 pub fn job_span_index(jobs: &[JobRecord]) -> IntervalIndex {
-    IntervalIndex::build(
-        jobs.iter().map(|j| (j.started_at, j.ended_at)),
-        JOB_SPAN_BUCKET,
-    )
+    bgq_obs::time("join.span_index", || {
+        IntervalIndex::build(
+            jobs.iter().map(|j| (j.started_at, j.ended_at)),
+            JOB_SPAN_BUCKET,
+        )
+    })
 }
 
 /// Joins `events` to `jobs`: an event is attributed to every job whose
@@ -106,33 +108,41 @@ pub fn attribute_events_with(
     index: &IntervalIndex,
 ) -> JoinResult {
     debug_assert_eq!(index.len(), jobs.len(), "index must cover the job log");
-    let pairs = bgq_par::par_chunk_fold(
+    let _span = bgq_obs::span!("join.attribute");
+    // The fold carries a per-chunk candidate count (stab callback
+    // invocations, i.e. time-overlapping jobs before the block check), so
+    // the counters cost two adds per join rather than one per record.
+    let (pairs, candidates) = bgq_par::par_chunk_fold(
         events,
-        Vec::new,
+        || (Vec::new(), 0u64),
         |base, chunk| {
             let mut pairs = Vec::new();
+            let mut candidates = 0u64;
             for (off, ev) in chunk.iter().enumerate() {
                 if ev.severity < min_severity {
                     continue;
                 }
                 let event_idx = base + off;
                 index.stab_each(ev.event_time, |job_idx| {
+                    candidates += 1;
                     if jobs[job_idx].block.contains(&ev.location) {
                         pairs.push(Attribution { event_idx, job_idx });
                     }
                 });
             }
-            pairs
+            (pairs, candidates)
         },
-        |mut acc, part| {
+        |(mut acc, n), (part, m)| {
             if acc.is_empty() {
-                part
+                (part, n + m)
             } else {
                 acc.extend(part);
-                acc
+                (acc, n + m)
             }
         },
     );
+    bgq_obs::add("join.candidates", candidates);
+    bgq_obs::add("join.emitted", pairs.len() as u64);
     JoinResult { pairs }
 }
 

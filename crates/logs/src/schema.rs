@@ -284,6 +284,46 @@ pub fn decode_table<R: Record>(rows: &[Vec<String>]) -> Result<Vec<R>, SchemaErr
     iter.map(|row| R::decode(row)).collect()
 }
 
+/// Like [`decode_table`], but skips undecodable rows instead of failing:
+/// returns the decoded records, the number of rejected rows, and the
+/// first rejection (for diagnostics).
+///
+/// A header mismatch is still a hard error — a wrong header means the
+/// *file* is the wrong table, not that some rows are dirty.
+///
+/// # Errors
+///
+/// Returns a [`SchemaError`] only on a header mismatch.
+#[allow(clippy::type_complexity)]
+pub fn decode_table_counting<R: Record>(
+    rows: &[Vec<String>],
+) -> Result<(Vec<R>, usize, Option<SchemaError>), SchemaError> {
+    let mut iter = rows.iter();
+    match iter.next() {
+        Some(header) if header == R::HEADER => {}
+        _ => {
+            return Err(SchemaError {
+                table: R::TABLE,
+                field: "header",
+                value: rows.first().map(|h| h.join(",")),
+            })
+        }
+    }
+    let mut out = Vec::with_capacity(rows.len().saturating_sub(1));
+    let mut rejected = 0usize;
+    let mut first_error = None;
+    for row in iter {
+        match R::decode(row) {
+            Ok(rec) => out.push(rec),
+            Err(e) => {
+                rejected += 1;
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+    Ok((out, rejected, first_error))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,5 +432,28 @@ mod tests {
 
         let bad = vec![vec!["nope".to_owned()]];
         assert!(decode_table::<JobRecord>(&bad).is_err());
+    }
+
+    #[test]
+    fn decode_table_counting_skips_bad_rows() {
+        let j = sample_job();
+        let mut bad_row = j.encode();
+        bad_row[4] = "not-a-number".to_owned();
+        let rows = vec![
+            JobRecord::HEADER.iter().map(|s| s.to_string()).collect(),
+            j.encode(),
+            bad_row,
+            j.encode(),
+        ];
+        let (records, rejected, first) = decode_table_counting::<JobRecord>(&rows).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(rejected, 1);
+        assert_eq!(first.unwrap().field, "nodes");
+    }
+
+    #[test]
+    fn decode_table_counting_still_rejects_bad_header() {
+        let bad = vec![vec!["nope".to_owned()]];
+        assert!(decode_table_counting::<JobRecord>(&bad).is_err());
     }
 }

@@ -8,7 +8,7 @@ use std::path::Path;
 use bgq_model::{IoRecord, JobRecord, RasRecord, TaskRecord};
 
 use crate::csv::{write_record, CsvError, CsvReader};
-use crate::schema::{decode_table, Record, SchemaError};
+use crate::schema::{decode_table, decode_table_counting, Record, SchemaError};
 
 /// An in-memory Mira dataset: the four joined log sources.
 ///
@@ -46,6 +46,17 @@ pub enum StoreError {
         /// Underlying I/O error.
         source: std::io::Error,
     },
+    /// Too many rows of one table were rejected during a lenient load.
+    RejectRatio {
+        /// Table (file stem) involved.
+        table: &'static str,
+        /// Rows rejected (malformed CSV plus schema failures).
+        rejected: usize,
+        /// Rows scanned (accepted + rejected, excluding the header).
+        scanned: usize,
+        /// The configured ceiling that was exceeded.
+        limit: f64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -54,6 +65,17 @@ impl fmt::Display for StoreError {
             StoreError::Csv { table, source } => write!(f, "table {table}: {source}"),
             StoreError::Schema(e) => write!(f, "{e}"),
             StoreError::Io { path, source } => write!(f, "{path}: {source}"),
+            StoreError::RejectRatio {
+                table,
+                rejected,
+                scanned,
+                limit,
+            } => write!(
+                f,
+                "table {table}: {rejected} of {scanned} rows rejected, exceeding the \
+                 configured ceiling of {:.2}%",
+                limit * 100.0
+            ),
         }
     }
 }
@@ -64,7 +86,77 @@ impl std::error::Error for StoreError {
             StoreError::Csv { source, .. } => Some(source),
             StoreError::Schema(e) => Some(e),
             StoreError::Io { source, .. } => Some(source),
+            StoreError::RejectRatio { .. } => None,
         }
+    }
+}
+
+/// Options for the lenient loading path ([`Dataset::load_dir_with`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadOptions {
+    /// Maximum tolerated rejected-row ratio per table (rejected rows over
+    /// rows scanned). Above it the load fails with
+    /// [`StoreError::RejectRatio`] — a few mangled lines in a 2000-day
+    /// archive are expected, but a table that is 5% garbage points at a
+    /// corrupted export, not line noise.
+    pub max_reject_ratio: f64,
+}
+
+impl Default for LoadOptions {
+    fn default() -> Self {
+        LoadOptions {
+            max_reject_ratio: 0.01,
+        }
+    }
+}
+
+/// Per-table outcome of a lenient load.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableLoadStats {
+    /// Table (file stem) the stats describe.
+    pub table: &'static str,
+    /// Rows decoded successfully.
+    pub rows: usize,
+    /// Rows rejected by the CSV layer (structural damage).
+    pub rejected_csv: usize,
+    /// Rows rejected by schema decoding (bad field values).
+    pub rejected_schema: usize,
+    /// First schema rejection, kept for diagnostics.
+    pub first_schema_error: Option<SchemaError>,
+}
+
+impl TableLoadStats {
+    /// Total rejected rows across both layers.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.rejected_csv + self.rejected_schema
+    }
+
+    /// Rejected fraction of all scanned rows (0 for an empty table).
+    #[must_use]
+    pub fn reject_ratio(&self) -> f64 {
+        let scanned = self.rows + self.rejected();
+        if scanned == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / scanned as f64
+        }
+    }
+}
+
+/// What a lenient load accepted and rejected, per table — the run
+/// manifest surfaces these totals as provenance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadReport {
+    /// One entry per table, in load order (jobs, ras, tasks, io).
+    pub tables: Vec<TableLoadStats>,
+}
+
+impl LoadReport {
+    /// Total rejected rows across every table.
+    #[must_use]
+    pub fn total_rejected(&self) -> usize {
+        self.tables.iter().map(TableLoadStats::rejected).sum()
     }
 }
 
@@ -124,6 +216,29 @@ impl Dataset {
         })
     }
 
+    /// Lenient load: damaged rows are counted and skipped instead of
+    /// failing the whole load, up to `opts.max_reject_ratio` per table.
+    ///
+    /// Every accepted and rejected row is also recorded in the bgq-obs
+    /// collector (`store.rows` / `store.rejected`, labeled by table), so
+    /// run manifests carry the reject totals as provenance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on missing files, I/O failures, a header
+    /// mismatch (the file is the wrong table), or a table whose reject
+    /// ratio exceeds the configured ceiling.
+    pub fn load_dir_with(dir: &Path, opts: &LoadOptions) -> Result<(Self, LoadReport), StoreError> {
+        let mut report = LoadReport::default();
+        let ds = Dataset {
+            jobs: load_table_counting(dir, opts, &mut report)?,
+            ras: load_table_counting(dir, opts, &mut report)?,
+            tasks: load_table_counting(dir, opts, &mut report)?,
+            io: load_table_counting(dir, opts, &mut report)?,
+        };
+        Ok((ds, report))
+    }
+
     /// Total records across all four tables.
     pub fn total_records(&self) -> usize {
         self.jobs.len() + self.ras.len() + self.tasks.len() + self.io.len()
@@ -169,6 +284,61 @@ fn load_table<R: Record>(dir: &Path) -> Result<Vec<R>, StoreError> {
             source,
         })?;
     Ok(decode_table::<R>(&rows)?)
+}
+
+fn load_table_counting<R: Record>(
+    dir: &Path,
+    opts: &LoadOptions,
+    report: &mut LoadReport,
+) -> Result<Vec<R>, StoreError> {
+    let path = table_path(dir, R::TABLE);
+    let file = File::open(&path).map_err(|source| StoreError::Io {
+        path: path.display().to_string(),
+        source,
+    })?;
+    let (rows, rejected_csv) = CsvReader::new(BufReader::new(file))
+        .read_all_counting()
+        .map_err(|source| StoreError::Csv {
+            table: R::TABLE,
+            source,
+        })?;
+    let (records, rejected_schema, first_schema_error) = decode_table_counting::<R>(&rows)?;
+    let stats = TableLoadStats {
+        table: R::TABLE,
+        rows: records.len(),
+        rejected_csv,
+        rejected_schema,
+        first_schema_error,
+    };
+    bgq_obs::add_labeled("store.rows", R::TABLE, stats.rows as u64);
+    bgq_obs::add_labeled("store.rejected", R::TABLE, stats.rejected() as u64);
+    if stats.rejected() > 0 {
+        bgq_obs::warn!(
+            "table {}: skipped {} damaged row(s) of {} ({}){}",
+            R::TABLE,
+            stats.rejected(),
+            stats.rows + stats.rejected(),
+            path.display(),
+            stats
+                .first_schema_error
+                .as_ref()
+                .map(|e| format!("; first: {e}"))
+                .unwrap_or_default(),
+        );
+    }
+    let ratio = stats.reject_ratio();
+    let out = if ratio > opts.max_reject_ratio {
+        Err(StoreError::RejectRatio {
+            table: R::TABLE,
+            rejected: stats.rejected(),
+            scanned: stats.rows + stats.rejected(),
+            limit: opts.max_reject_ratio,
+        })
+    } else {
+        Ok(records)
+    };
+    report.tables.push(stats);
+    out
 }
 
 #[cfg(test)]
@@ -246,5 +416,93 @@ mod tests {
         ds.jobs = vec![job(1, 100)];
         ds.ras = vec![ras(1, 50), ras(2, 60)];
         assert_eq!(ds.total_records(), 3);
+    }
+
+    /// Saves a small dataset, then corrupts one row of `jobs.csv`.
+    fn corrupted_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-lenient-{tag}-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100), job(2, 200), job(3, 300)];
+        ds.ras = vec![ras(1, 50)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        let path = dir.join("jobs.csv");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        lines[2] = lines[2].replace("512", "not-a-number");
+        std::fs::write(&path, lines.join("\n")).unwrap();
+        dir
+    }
+
+    #[test]
+    fn strict_load_rejects_corrupted_table() {
+        let dir = corrupted_dir("strict");
+        assert!(matches!(
+            Dataset::load_dir(&dir).unwrap_err(),
+            StoreError::Schema(_)
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lenient_load_counts_and_skips_rejects() {
+        let dir = corrupted_dir("lenient");
+        let opts = LoadOptions {
+            max_reject_ratio: 0.5,
+        };
+        let (ds, report) = Dataset::load_dir_with(&dir, &opts).unwrap();
+        assert_eq!(ds.jobs.len(), 2, "the damaged row is dropped");
+        assert_eq!(ds.ras.len(), 1);
+        let jobs_stats = &report.tables[0];
+        assert_eq!(jobs_stats.table, "jobs");
+        assert_eq!(jobs_stats.rejected_schema, 1);
+        assert_eq!(jobs_stats.rejected_csv, 0);
+        assert_eq!(jobs_stats.first_schema_error.as_ref().unwrap().field, "nodes");
+        assert!((jobs_stats.reject_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.total_rejected(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lenient_load_enforces_reject_ceiling() {
+        let dir = corrupted_dir("ceiling");
+        // One of three rows damaged (33%) exceeds the default 1% ceiling.
+        let err = Dataset::load_dir_with(&dir, &LoadOptions::default()).unwrap_err();
+        match err {
+            StoreError::RejectRatio {
+                table,
+                rejected,
+                scanned,
+                ..
+            } => {
+                assert_eq!(table, "jobs");
+                assert_eq!(rejected, 1);
+                assert_eq!(scanned, 3);
+            }
+            other => panic!("expected RejectRatio, got {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lenient_load_on_clean_data_matches_strict() {
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-lenient-clean-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.ras = vec![ras(1, 50)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        let strict = Dataset::load_dir(&dir).unwrap();
+        let (lenient, report) = Dataset::load_dir_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(strict, lenient);
+        assert_eq!(report.total_rejected(), 0);
+        assert_eq!(report.tables.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

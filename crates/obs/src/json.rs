@@ -1,0 +1,156 @@
+//! A minimal JSON writer — just enough to serialize run manifests
+//! without pulling serde into the dependency-free build.
+
+/// Escapes `s` for use inside a JSON string literal (no surrounding
+/// quotes).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Incremental writer for one JSON object/array tree.
+///
+/// The caller is responsible for structural correctness (matching
+/// `begin_*`/`end_*` calls); the writer handles commas and escaping.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    #[must_use]
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.pre_value();
+        self.out.push('"');
+        self.out.push_str(&escape(key));
+        self.out.push_str("\":");
+    }
+
+    /// Opens the root object or a nested object value under `key`
+    /// (pass `None` for array elements / the root).
+    pub fn begin_object(&mut self, key: Option<&str>) {
+        match key {
+            Some(k) => self.key(k),
+            None => self.pre_value(),
+        }
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Opens an array value under `key` (or an anonymous array).
+    pub fn begin_array(&mut self, key: Option<&str>) {
+        match key {
+            Some(k) => self.key(k),
+            None => self.pre_value(),
+        }
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Writes a string field.
+    pub fn string(&mut self, key: &str, value: &str) {
+        self.key(key);
+        self.out.push('"');
+        self.out.push_str(&escape(value));
+        self.out.push('"');
+    }
+
+    /// Writes an unsigned integer field.
+    pub fn u64(&mut self, key: &str, value: u64) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Writes a float field (non-finite values serialize as `null`).
+    pub fn f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        if value.is_finite() {
+            self.out.push_str(&format!("{value}"));
+        } else {
+            self.out.push_str("null");
+        }
+    }
+
+    /// Finishes and returns the JSON text.
+    #[must_use]
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("line\nfeed\ttab"), "line\\nfeed\\ttab");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn writer_produces_valid_structure() {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.string("name", "x\"y");
+        w.u64("n", 3);
+        w.f64("ratio", 0.5);
+        w.f64("bad", f64::NAN);
+        w.begin_array(Some("items"));
+        w.begin_object(None);
+        w.u64("a", 1);
+        w.end_object();
+        w.begin_object(None);
+        w.u64("a", 2);
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"x\"y","n":3,"ratio":0.5,"bad":null,"items":[{"a":1},{"a":2}]}"#
+        );
+    }
+}

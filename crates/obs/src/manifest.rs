@@ -1,0 +1,241 @@
+//! The run manifest: provenance metadata plus the collected metrics of
+//! one pipeline run, serializable to JSON or a human-readable tree.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json::JsonWriter;
+use crate::snapshot::{Snapshot, SpanStat};
+
+/// Everything a run self-reports: a flat metadata map (dataset
+/// fingerprint, feature flags, thread count, command line) and the
+/// [`Snapshot`] of spans/counters/gauges the run produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunManifest {
+    /// Provenance key/value pairs, rendered in key order.
+    pub meta: BTreeMap<String, String>,
+    /// The metrics this run collected (usually a snapshot diff).
+    pub snapshot: Snapshot,
+}
+
+impl RunManifest {
+    /// A manifest around an already-diffed snapshot.
+    #[must_use]
+    pub fn new(snapshot: Snapshot) -> Self {
+        RunManifest {
+            meta: BTreeMap::new(),
+            snapshot,
+        }
+    }
+
+    /// Adds one provenance entry (builder style).
+    #[must_use]
+    pub fn with_meta(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.meta.insert(key.to_owned(), value.into());
+        self
+    }
+
+    /// Spans sorted hottest-first (total wall time descending, name
+    /// ascending on ties — deterministic either way).
+    #[must_use]
+    pub fn hot_stages(&self) -> Vec<(&str, SpanStat)> {
+        let mut v: Vec<(&str, SpanStat)> = self
+            .snapshot
+            .spans
+            .iter()
+            .map(|(n, &s)| (n.as_str(), s))
+            .collect();
+        v.sort_by(|a, b| b.1.wall_ns.cmp(&a.1.wall_ns).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Serializes the manifest as one JSON object:
+    /// `{"meta": {...}, "spans": [...], "counters": [...], "gauges": [...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.begin_object(Some("meta"));
+        for (k, v) in &self.meta {
+            w.string(k, v);
+        }
+        w.end_object();
+        w.begin_array(Some("spans"));
+        for (name, stat) in &self.snapshot.spans {
+            w.begin_object(None);
+            w.string("name", name);
+            w.u64("calls", stat.calls);
+            w.u64("wall_ns", stat.wall_ns);
+            w.f64("wall_ms", stat.wall_ms());
+            w.end_object();
+        }
+        w.end_array();
+        w.begin_array(Some("counters"));
+        for ((name, label), value) in &self.snapshot.counters {
+            w.begin_object(None);
+            w.string("name", name);
+            if !label.is_empty() {
+                w.string("label", label);
+            }
+            w.u64("value", *value);
+            w.end_object();
+        }
+        w.end_array();
+        w.begin_array(Some("gauges"));
+        for ((name, label), value) in &self.snapshot.gauges {
+            w.begin_object(None);
+            w.string("name", name);
+            if !label.is_empty() {
+                w.string("label", label);
+            }
+            w.u64("value", *value);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Renders the manifest as a human-readable stage tree: span names
+    /// split on `.` into a hierarchy (implicit parents included), then
+    /// counters and gauges as flat sorted lists.
+    #[must_use]
+    pub fn to_tree(&self) -> String {
+        let mut out = String::new();
+        if !self.meta.is_empty() {
+            out.push_str("run:\n");
+            for (k, v) in &self.meta {
+                out.push_str(&format!("  {k}: {v}\n"));
+            }
+        }
+        if !self.snapshot.spans.is_empty() {
+            out.push_str("stages (wall time summed across threads):\n");
+            // Every name plus every ancestor prefix, in sorted order —
+            // '.' sorts before alphanumerics, so a parent always
+            // precedes its children.
+            let mut nodes: BTreeSet<String> = BTreeSet::new();
+            for name in self.snapshot.spans.keys() {
+                let mut prefix = String::new();
+                for seg in name.split('.') {
+                    if !prefix.is_empty() {
+                        prefix.push('.');
+                    }
+                    prefix.push_str(seg);
+                    nodes.insert(prefix.clone());
+                }
+            }
+            let label_width = nodes
+                .iter()
+                .map(|n| {
+                    let depth = n.matches('.').count();
+                    2 * depth + n.rsplit('.').next().unwrap_or(n).len()
+                })
+                .max()
+                .unwrap_or(0);
+            for node in &nodes {
+                let depth = node.matches('.').count();
+                let leaf = node.rsplit('.').next().unwrap_or(node);
+                let indent = "  ".repeat(depth);
+                match self.snapshot.spans.get(node) {
+                    Some(stat) => out.push_str(&format!(
+                        "  {indent}{leaf:<width$}  ×{calls:<4} {ms:>10.3} ms\n",
+                        width = label_width - 2 * depth,
+                        calls = stat.calls,
+                        ms = stat.wall_ms(),
+                    )),
+                    None => out.push_str(&format!("  {indent}{leaf}\n")),
+                }
+            }
+        }
+        if !self.snapshot.counters.is_empty() {
+            out.push_str("counters:\n");
+            for ((name, label), value) in &self.snapshot.counters {
+                if label.is_empty() {
+                    out.push_str(&format!("  {name} = {value}\n"));
+                } else {
+                    out.push_str(&format!("  {name}{{{label}}} = {value}\n"));
+                }
+            }
+        }
+        if !self.snapshot.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for ((name, label), value) in &self.snapshot.gauges {
+                if label.is_empty() {
+                    out.push_str(&format!("  {name} = {value}\n"));
+                } else {
+                    out.push_str(&format!("  {name}{{{label}}} = {value}\n"));
+                }
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no observability data collected — built without the `obs` feature?)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunManifest {
+        let mut snap = Snapshot::default();
+        snap.spans.insert(
+            "analysis.run".into(),
+            SpanStat {
+                calls: 1,
+                wall_ns: 2_500_000,
+            },
+        );
+        snap.spans.insert(
+            "analysis.fit.by_class".into(),
+            SpanStat {
+                calls: 1,
+                wall_ns: 1_000_000,
+            },
+        );
+        snap.counters
+            .insert(("filter.funnel".into(), "raw_fatal".into()), 128);
+        snap.gauges
+            .insert(("run.threads".into(), String::new()), 8);
+        RunManifest::new(snap)
+            .with_meta("command", "profile --days 30")
+            .with_meta("features", "obs,parallel")
+    }
+
+    #[test]
+    fn json_has_all_sections() {
+        let json = sample().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains(r#""meta":{"command":"profile --days 30","features":"obs,parallel"}"#));
+        assert!(json.contains(r#""name":"analysis.run","calls":1,"wall_ns":2500000"#));
+        assert!(json.contains(r#""name":"filter.funnel","label":"raw_fatal","value":128"#));
+        assert!(json.contains(r#""name":"run.threads","value":8"#));
+    }
+
+    #[test]
+    fn tree_nests_span_names() {
+        let tree = sample().to_tree();
+        let analysis_pos = tree.find("analysis\n").expect("implicit parent");
+        let fit_pos = tree.find("fit\n").expect("implicit fit parent");
+        let by_class_pos = tree.find("by_class").expect("leaf");
+        assert!(analysis_pos < fit_pos && fit_pos < by_class_pos);
+        assert!(tree.contains("filter.funnel{raw_fatal} = 128"));
+        assert!(tree.contains("run.threads = 8"));
+        assert!(tree.contains("features: obs,parallel"));
+    }
+
+    #[test]
+    fn hot_stages_sorts_by_wall_time() {
+        let m = sample();
+        let hot = m.hot_stages();
+        assert_eq!(hot[0].0, "analysis.run");
+        assert_eq!(hot[1].0, "analysis.fit.by_class");
+    }
+
+    #[test]
+    fn empty_manifest_renders_placeholder() {
+        let m = RunManifest::default();
+        assert!(m.to_tree().contains("no observability data"));
+        assert_eq!(m.to_json(), r#"{"meta":{},"spans":[],"counters":[],"gauges":[]}"#);
+    }
+}

@@ -48,37 +48,51 @@ pub fn generate(config: &SimConfig) -> SimOutput {
     if let Err(msg) = config.validate() {
         panic!("invalid SimConfig: {msg}");
     }
+    let _span = bgq_obs::span!("sim.generate");
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let population = Population::generate(config, &mut rng);
-    let lemon_boards = pick_lemon_boards(config, &mut rng);
-    let incidents = generate_incidents(config, &lemon_boards, &mut rng);
-    let specs = generate_arrivals(config, &population, &mut rng);
-    let scheduled = run_schedule(config, &specs, &incidents);
+    let population = bgq_obs::time("sim.population", || Population::generate(config, &mut rng));
+    let (lemon_boards, incidents) = bgq_obs::time("sim.incidents", || {
+        let lemon_boards = pick_lemon_boards(config, &mut rng);
+        let incidents = generate_incidents(config, &lemon_boards, &mut rng);
+        (lemon_boards, incidents)
+    });
+    let specs = bgq_obs::time("sim.arrivals", || {
+        generate_arrivals(config, &population, &mut rng)
+    });
+    let scheduled = bgq_obs::time("sim.schedule", || run_schedule(config, &specs, &incidents));
 
     let mut dataset = Dataset::new();
     let mut truth_kills = Vec::new();
     let mut next_task_id: u64 = 1;
 
-    for job in &scheduled {
-        let job_id = JobId::new(job.spec_idx as u64 + 1);
-        dataset.jobs.push(to_job_record(job_id, job, &population));
-        emit_tasks(job_id, job, &mut next_task_id, &mut rng, &mut dataset.tasks);
-        if let Some(rec) = io_record(config, job_id, job, &mut rng) {
-            dataset.io.push(rec);
+    bgq_obs::time("sim.emit_jobs", || {
+        for job in &scheduled {
+            let job_id = JobId::new(job.spec_idx as u64 + 1);
+            dataset.jobs.push(to_job_record(job_id, job, &population));
+            emit_tasks(job_id, job, &mut next_task_id, &mut rng, &mut dataset.tasks);
+            if let Some(rec) = io_record(config, job_id, job, &mut rng) {
+                dataset.io.push(rec);
+            }
+            job_records(config, job, &mut rng, &mut dataset.ras);
+            if let Some(incident_idx) = job.killed_by {
+                truth_kills.push((job_id, incident_idx));
+            }
         }
-        job_records(config, job, &mut rng, &mut dataset.ras);
-        if let Some(incident_idx) = job.killed_by {
-            truth_kills.push((job_id, incident_idx));
+    });
+
+    bgq_obs::time("sim.emit_ras", || {
+        for incident in &incidents {
+            storm_records(config, incident, &mut rng, &mut dataset.ras);
         }
-    }
+        background_records(config, &mut rng, &mut dataset.ras);
+    });
 
-    for incident in &incidents {
-        storm_records(config, incident, &mut rng, &mut dataset.ras);
-    }
-    background_records(config, &mut rng, &mut dataset.ras);
-
-    dataset.normalize();
+    bgq_obs::time("sim.normalize", || dataset.normalize());
+    bgq_obs::add("sim.records.jobs", dataset.jobs.len() as u64);
+    bgq_obs::add("sim.records.ras", dataset.ras.len() as u64);
+    bgq_obs::add("sim.records.tasks", dataset.tasks.len() as u64);
+    bgq_obs::add("sim.records.io", dataset.io.len() as u64);
     // Record ids follow the (sorted) event order, as in a real archive.
     for (i, rec) in dataset.ras.iter_mut().enumerate() {
         rec.rec_id = RecId::new(i as u64 + 1);

@@ -63,6 +63,8 @@ where
     if data.is_empty() {
         return None;
     }
+    let _span = bgq_obs::span!("bootstrap.ci");
+    bgq_obs::add("bootstrap.resamples", resamples as u64);
     let estimate = statistic(data);
     if !estimate.is_finite() {
         return None;

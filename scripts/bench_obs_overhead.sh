@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# BENCH_obs_overhead: measures the wall-time cost of the `obs`
+# instrumentation on the standard 30-day profile workload.
+#
+# Builds `mira-mine` twice — default features (obs on) and
+# `--no-default-features --features parallel` (obs compiled out, threads
+# unchanged) — runs the identical workload under both, and fails when the
+# median overhead exceeds the budget (default 3%).
+#
+# Knobs: BENCH_OBS_DAYS, BENCH_OBS_SEED, BENCH_OBS_REPS, BENCH_OBS_MAX_PCT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DAYS="${BENCH_OBS_DAYS:-30}"
+SEED="${BENCH_OBS_SEED:-1}"
+REPS="${BENCH_OBS_REPS:-9}"
+MAX_PCT="${BENCH_OBS_MAX_PCT:-3.0}"
+
+echo "building mira-mine (obs on) ..."
+cargo build -q --release -p bgq-cli
+echo "building mira-mine (obs off) ..."
+cargo build -q --release -p bgq-cli --no-default-features --features parallel \
+    --target-dir target/obs-off
+
+python3 - "target/release/mira-mine" "target/obs-off/release/mira-mine" \
+    "$DAYS" "$SEED" "$REPS" "$MAX_PCT" <<'PY'
+import json
+import subprocess
+import sys
+import time
+
+on_bin, off_bin, days, seed = sys.argv[1:5]
+reps, max_pct = int(sys.argv[5]), float(sys.argv[6])
+args = ["--quiet", "profile", "--days", days, "--seed", seed]
+
+
+def median_ms(binary):
+    times = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        subprocess.run([binary] + args, check=True,
+                       stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        times.append((time.perf_counter() - t0) * 1000.0)
+    times.sort()
+    return times[len(times) // 2]
+
+
+median_ms(on_bin)  # warm caches before measuring either side
+on_ms = median_ms(on_bin)
+off_ms = median_ms(off_bin)
+overhead_pct = (on_ms - off_ms) / off_ms * 100.0
+
+result = {
+    "bench": "BENCH_obs_overhead",
+    "workload": f"mira-mine profile --days {days} --seed {seed}",
+    "reps": reps,
+    "obs_on_median_ms": round(on_ms, 3),
+    "obs_off_median_ms": round(off_ms, 3),
+    "overhead_pct": round(overhead_pct, 3),
+    "max_pct": max_pct,
+}
+with open("BENCH_obs_overhead.json", "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(json.dumps(result, indent=2))
+if overhead_pct > max_pct:
+    sys.exit(f"obs overhead {overhead_pct:.2f}% exceeds the {max_pct}% budget")
+PY

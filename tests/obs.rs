@@ -1,0 +1,164 @@
+//! Observability feature-matrix regression.
+//!
+//! The `obs` feature's promises, checked end to end:
+//!
+//! * counter totals are **schedule-independent** — the same pipeline on
+//!   8 worker threads and on 1 produces identical counter/gauge maps
+//!   (wall times may differ; record-flow totals may not);
+//! * the funnel counters mirror the `Analysis` result fields exactly —
+//!   the side channel never drifts from the primary output;
+//! * the memoized join is built once per severity and reused after;
+//! * with `--no-default-features` every instrumentation call is a no-op
+//!   and the collector stays empty.
+//!
+//! The collector is process-global, so the tests that diff snapshots
+//! serialize on a mutex — they must not observe each other's writes.
+
+use bgq_core::analysis::Analysis;
+use bgq_core::index::DatasetIndex;
+#[cfg(feature = "obs")]
+use bgq_model::Severity;
+use bgq_sim::{generate, SimConfig};
+
+#[cfg(feature = "obs")]
+static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(feature = "obs")]
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One instrumented pipeline pass; returns the snapshot delta it produced.
+fn instrumented_run(threads: usize) -> (Analysis, bgq_obs::Snapshot) {
+    let out = generate(&SimConfig::small(12).with_seed(41));
+    let before = bgq_obs::snapshot();
+    let analysis = bgq_par::with_max_threads(threads, || {
+        let idx = DatasetIndex::build(&out.dataset);
+        Analysis::run_indexed(&idx)
+    });
+    (analysis, bgq_obs::snapshot().since(&before))
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn counter_totals_are_schedule_independent() {
+    let _l = lock();
+    let (a8, d8) = instrumented_run(8);
+    let (a1, d1) = instrumented_run(1);
+    assert_eq!(format!("{a8:?}"), format!("{a1:?}"), "analysis itself diverged");
+    // Counters and gauges are added as per-stage totals, never per-record
+    // atomics, so any bgq-par schedule must yield the same maps.
+    assert_eq!(d8.counters, d1.counters, "counter totals depend on the schedule");
+    assert_eq!(d8.gauges, d1.gauges, "gauge values depend on the schedule");
+    // Span *identities* agree too (wall times are allowed to differ).
+    let names8: Vec<&String> = d8.spans.keys().collect();
+    let names1: Vec<&String> = d1.spans.keys().collect();
+    assert_eq!(names8, names1, "span sets depend on the schedule");
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn funnel_counters_match_analysis_fields_exactly() {
+    let _l = lock();
+    let (analysis, delta) = instrumented_run(8);
+    let f = &analysis.filter;
+    assert_eq!(delta.counter("filter.funnel", "raw_fatal"), f.raw_fatal as u64);
+    assert_eq!(
+        delta.counter("filter.funnel", "after_temporal"),
+        f.after_temporal as u64
+    );
+    assert_eq!(
+        delta.counter("filter.funnel", "after_spatial"),
+        f.after_spatial as u64
+    );
+    assert_eq!(
+        delta.counter("filter.funnel", "after_similarity"),
+        f.after_similarity as u64
+    );
+    // The join side channel is consistent with itself: every attributed
+    // pair was first a candidate.
+    let candidates = delta.counter("join.candidates", "");
+    let emitted = delta.counter("join.emitted", "");
+    assert!(emitted <= candidates, "{emitted} attributed > {candidates} candidates");
+    assert!(candidates > 0, "the stab index produced no candidates at all");
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn join_memo_is_built_once_per_severity() {
+    let _l = lock();
+    let out = generate(&SimConfig::small(12).with_seed(42));
+    let idx = DatasetIndex::build(&out.dataset);
+    let before = bgq_obs::snapshot();
+    let _ = Analysis::run_indexed(&idx);
+    let after_run = bgq_obs::snapshot().since(&before);
+    // run_indexed consults the Warn join exactly once (user correlation):
+    // one miss, no hits, and no other severity is ever materialized.
+    assert_eq!(after_run.counter("index.join.memo_miss", "warn"), 1);
+    assert_eq!(after_run.counter("index.join.memo_hit", "warn"), 0);
+    assert_eq!(after_run.counter_total("index.join.memo_miss"), 1);
+
+    // Two further consumers at the same severity reuse the memo.
+    let _ = bgq_core::ras_analysis::affected_jobs_indexed(&idx, Severity::Warn);
+    let _ = bgq_core::ras_analysis::user_event_correlation_indexed(&idx, Severity::Warn);
+    let delta = bgq_obs::snapshot().since(&before);
+    assert_eq!(delta.counter("index.join.memo_miss", "warn"), 1, "join rebuilt");
+    assert_eq!(delta.counter("index.join.memo_hit", "warn"), 2);
+
+    // A different severity is its own (single) build.
+    let _ = bgq_core::ras_analysis::affected_jobs_indexed(&idx, Severity::Fatal);
+    let _ = bgq_core::ras_analysis::affected_jobs_indexed(&idx, Severity::Fatal);
+    let delta = bgq_obs::snapshot().since(&before);
+    assert_eq!(delta.counter("index.join.memo_miss", "fatal"), 1);
+    assert_eq!(delta.counter("index.join.memo_hit", "fatal"), 1);
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn every_analysis_stage_records_wall_time() {
+    let _l = lock();
+    let (_, delta) = instrumented_run(8);
+    for stage in [
+        "analysis.run",
+        "analysis.fit.by_class",
+        "analysis.fit.intervals",
+        "analysis.lifetime",
+        "analysis.ras.user_correlation",
+        "analysis.ras.breakdown",
+        "analysis.io",
+        "analysis.predict",
+        "analysis.interruptions",
+        "analysis.locality.boards",
+        "analysis.locality.racks",
+        "analysis.jobs.totals",
+        "analysis.jobs.size_mix",
+        "analysis.jobs.per_user",
+        "analysis.jobs.per_project",
+        "analysis.rates",
+        "analysis.queueing",
+        "analysis.temporal",
+        "analysis.class_breakdown",
+        "analysis.user_caused_share",
+        "index.build",
+        "index.join.build",
+        "filter.funnel",
+        "join.attribute",
+    ] {
+        assert!(
+            delta.span_wall_ns(stage) > 0,
+            "stage {stage:?} recorded no wall time"
+        );
+    }
+}
+
+#[test]
+#[cfg(not(feature = "obs"))]
+fn disabled_obs_collects_nothing() {
+    let (_, delta) = instrumented_run(4);
+    assert!(delta.is_empty(), "obs-off build still collected: {delta:?}");
+    assert!(!bgq_obs::enabled());
+    // The macros still compile and run as no-ops.
+    let _g = bgq_obs::span!("noop.stage");
+    bgq_obs::add("noop.counter", 1);
+    assert!(bgq_obs::snapshot().is_empty());
+}
