@@ -43,20 +43,33 @@ pub struct RateCurve {
     pub spearman_rho: Option<f64>,
 }
 
+/// Total-order key for an `f64` bucket edge: monotone in the float's value,
+/// so distinct edges get distinct `BTreeMap` keys. (`lo as i64` truncated,
+/// collapsing any two edges in the same unit interval — e.g. `0.25` and
+/// `0.75` — into one bucket.)
+fn ord_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b >> 63 == 1 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
 fn curve(
     jobs: &[JobRecord],
     attribute: impl Fn(&JobRecord) -> f64,
     bucket_of: impl Fn(f64) -> (String, f64),
 ) -> RateCurve {
     use std::collections::BTreeMap;
-    // Key buckets by the integer bits of their lower edge for ordering.
-    let mut map: BTreeMap<i64, RateBucket> = BTreeMap::new();
+    // Key buckets by the total-order bits of their lower edge.
+    let mut map: BTreeMap<u64, RateBucket> = BTreeMap::new();
     let mut xs = Vec::with_capacity(jobs.len());
     let mut ys = Vec::with_capacity(jobs.len());
     for j in jobs {
         let x = attribute(j);
         let (label, lo) = bucket_of(x);
-        let entry = map.entry(lo as i64).or_insert_with(|| RateBucket {
+        let entry = map.entry(ord_key(lo)).or_insert_with(|| RateBucket {
             label,
             lo,
             jobs: 0,
@@ -74,12 +87,17 @@ fn curve(
 }
 
 /// Failure rate by job scale (nodes), one bucket per power-of-two size
-/// (experiment E5).
+/// (experiment E5). Sizes are rounded **up** to the next power of two, so a
+/// 768-node job counts toward the `1024` bucket — matching the doc rather
+/// than the old behavior of one bucket per distinct node count.
 pub fn by_scale(jobs: &[JobRecord]) -> RateCurve {
     curve(
         jobs,
         |j| f64::from(j.nodes),
-        |x| (format!("{}", x as u64), x),
+        |x| {
+            let p = (x as u64).max(1).next_power_of_two();
+            (format!("{p}"), p as f64)
+        },
     )
 }
 
@@ -209,6 +227,62 @@ mod tests {
         let c = by_core_hours(&jobs);
         assert_eq!(c.buckets.len(), 2);
         assert!(c.buckets[0].label.starts_with("1e"));
+    }
+
+    #[test]
+    fn fractional_bucket_edges_stay_distinct() {
+        // Pre-fix, keys were `lo as i64`, so the edges 0.25 and 0.75 both
+        // truncated to key 0 and the second bucket silently merged into the
+        // first (keeping the first bucket's label).
+        let jobs = vec![job(512, 1, 0), job(2048, 1, 1)];
+        let c = curve(
+            &jobs,
+            |j| f64::from(j.nodes),
+            |x| {
+                if x < 1024.0 {
+                    ("small".into(), 0.25)
+                } else {
+                    ("big".into(), 0.75)
+                }
+            },
+        );
+        assert_eq!(c.buckets.len(), 2);
+        assert_eq!(c.buckets[0].label, "small");
+        assert_eq!(c.buckets[1].label, "big");
+    }
+
+    #[test]
+    fn negative_and_positive_edges_order_correctly() {
+        // -0.5 and 0.5 also both truncated to 0 pre-fix; and the total-order
+        // key must sort negative edges below positive ones.
+        let jobs = vec![job(512, 1, 1), job(2048, 1, 0), job(49152, 1, 0)];
+        let c = curve(
+            &jobs,
+            |j| f64::from(j.nodes),
+            |x| {
+                if x < 1024.0 {
+                    ("neg".into(), -0.5)
+                } else if x < 4096.0 {
+                    ("zero".into(), 0.5)
+                } else {
+                    ("pos".into(), 1.5)
+                }
+            },
+        );
+        let labels: Vec<&str> = c.buckets.iter().map(|b| b.label.as_str()).collect();
+        assert_eq!(labels, vec!["neg", "zero", "pos"]);
+    }
+
+    #[test]
+    fn scale_buckets_round_up_to_powers_of_two() {
+        // 768 rides with 1024; 1025 lands in 2048. Pre-fix each distinct
+        // node count got its own bucket despite the power-of-two doc.
+        let jobs = vec![job(768, 1, 0), job(1024, 1, 1), job(1025, 1, 1)];
+        let c = by_scale(&jobs);
+        let labels: Vec<&str> = c.buckets.iter().map(|b| b.label.as_str()).collect();
+        assert_eq!(labels, vec!["1024", "2048"]);
+        assert_eq!(c.buckets[0].jobs, 2);
+        assert_eq!(c.buckets[1].jobs, 1);
     }
 
     #[test]

@@ -87,8 +87,7 @@ pub fn utilization_series(
     let mut busy = vec![0f64; n];
     for j in jobs {
         // Distribute the job's node-seconds over every window it overlaps.
-        let first = ((j.started_at - start).as_secs() / window.as_secs()) as usize;
-        let last = (((j.ended_at - start).as_secs() - 1).max(0) / window.as_secs()) as usize;
+        let (first, last) = job_window_range(j, start, window);
         for (w, slot) in busy.iter_mut().enumerate().take(last.min(n - 1) + 1).skip(first)
         {
             let w_start = start + Span::from_secs(window.as_secs() * w as i64);
@@ -109,6 +108,20 @@ pub fn utilization_series(
             )
         })
         .collect()
+}
+
+/// Inclusive range of window indices a job's `[started_at, ended_at)`
+/// interval is attributed to.
+///
+/// A zero-duration job sitting exactly on a window boundary makes the
+/// naive `last` computation (`(ended - start - 1) / window`) land one
+/// window *before* `first`, producing an inverted (empty) range that
+/// silently dropped instant jobs from the per-window loop — hence the
+/// final clamp.
+fn job_window_range(j: &JobRecord, start: Timestamp, window: Span) -> (usize, usize) {
+    let first = ((j.started_at - start).as_secs().max(0) / window.as_secs()) as usize;
+    let last = (((j.ended_at - start).as_secs() - 1).max(0) / window.as_secs()) as usize;
+    (first, last.max(first))
 }
 
 /// Mean utilization over the whole trace.
@@ -209,6 +222,37 @@ mod tests {
         assert_eq!(series.len(), 2);
         assert!((series[0].1 - 0.25 - anchor_share).abs() < 1e-9);
         assert!((series[1].1 - 0.25 - anchor_share).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_job_on_a_window_boundary_is_attributed() {
+        let day = 86_400;
+        let window = Span::from_days(1);
+        let origin = Timestamp::from_secs(0);
+        // Instant job exactly on the boundary between windows 0 and 1.
+        // Pre-fix, `last` computed as `(day - 1) / day = 0` while
+        // `first = 1`, an inverted range that dropped the job entirely.
+        let instant = job(512, Queue::Production, 0, day, day);
+        assert_eq!(job_window_range(&instant, origin, window), (1, 1));
+        // An instant job at the origin stays in window 0.
+        let at_origin = job(512, Queue::Production, 0, 0, 0);
+        assert_eq!(job_window_range(&at_origin, origin, window), (0, 0));
+        // Positive-duration jobs are unaffected by the clamp.
+        let spanning = job(512, Queue::Production, 0, day / 2, day + day / 2);
+        assert_eq!(job_window_range(&spanning, origin, window), (0, 1));
+        // Through the public API: the instant job contributes zero
+        // node-seconds and must not disturb or panic the series — even
+        // when it lands on the very last boundary of the trace.
+        let machine = Machine::MIRA;
+        let jobs = vec![
+            job(machine.total_nodes() as u32, Queue::Capability, 0, 0, 2 * day),
+            job(512, Queue::Production, 0, day, day),
+            job(512, Queue::Production, 0, 2 * day, 2 * day),
+        ];
+        let series = utilization_series(&jobs, &machine, 1);
+        assert_eq!(series.len(), 2);
+        assert!((series[0].1 - 1.0).abs() < 1e-9);
+        assert!((series[1].1 - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -143,18 +143,21 @@ impl IntervalIndex {
             .min(self.buckets.len().saturating_sub(1));
         let hi = (((to.as_secs() - 1 - self.origin) / self.width).max(0) as usize)
             .min(self.buckets.len() - 1);
-        let mut seen = vec![];
+        // An interval spanning many buckets appears once per bucket, so
+        // collect all matches and sort-dedup at the end: `O(k log k)` in
+        // the number of matches, replacing a `seen.contains` linear scan
+        // per candidate that made wide queries quadratic.
         let mut out = Vec::new();
         for bucket in &self.buckets[lo..=hi] {
             for &i in bucket {
                 let (s, e) = self.intervals[i as usize];
-                if s < to && from < e && !seen.contains(&i) {
-                    seen.push(i);
+                if s < to && from < e {
                     out.push(i as usize);
                 }
             }
         }
         out.sort_unstable();
+        out.dedup();
         out
     }
 }
@@ -209,6 +212,56 @@ mod tests {
         assert_eq!(idx.overlapping(t(10), t(20)), Vec::<usize>::new());
         assert_eq!(idx.overlapping(t(30), t(31)), vec![2]);
         assert!(idx.overlapping(t(5), t(5)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_boundary_queries() {
+        let idx = IntervalIndex::build(
+            vec![(t(100), t(200)), (t(150), t(1000)), (t(990), t(995))],
+            Span::from_secs(7),
+        );
+        // `from` far before the index origin (t=100): clamps to bucket 0.
+        assert_eq!(idx.overlapping(t(-5_000), t(160)), vec![0, 1]);
+        // `to` far past the last bucket: clamps to the final bucket.
+        assert_eq!(idx.overlapping(t(991), t(50_000)), vec![1, 2]);
+        // Query window engulfing everything.
+        assert_eq!(idx.overlapping(t(-1), t(100_000)), vec![0, 1, 2]);
+        // An interval spanning many buckets is reported exactly once even
+        // though it is registered in every bucket the query walks.
+        let wide = idx.overlapping(t(150), t(1000));
+        assert_eq!(wide, vec![0, 1, 2]);
+        // Degenerate/inverted query windows.
+        assert!(idx.overlapping(t(500), t(500)).is_empty());
+        assert!(idx.overlapping(t(600), t(400)).is_empty());
+    }
+
+    #[test]
+    fn overlapping_matches_brute_force() {
+        let mut state = 987654321u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        let intervals: Vec<(Timestamp, Timestamp)> = (0..200)
+            .map(|_| {
+                let s = next() % 10_000;
+                let len = next() % 800 - 50; // some degenerate/inverted
+                (t(s), t(s + len))
+            })
+            .collect();
+        let idx = IntervalIndex::build(intervals.clone(), Span::from_secs(61));
+        for k in 0..250 {
+            let from = next() % 12_000 - 1_000;
+            let len = next() % 3_000;
+            let (from, to) = (t(from), t(from + len));
+            let brute: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, (s, e))| *s < to && from < *e && e > s)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(idx.overlapping(from, to), brute, "query {k}: [{from:?}, {to:?})");
+        }
     }
 
     #[test]

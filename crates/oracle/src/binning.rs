@@ -1,0 +1,154 @@
+//! Reference histogram binning: per-edge linear search.
+//!
+//! The production `Histogram` guesses a bin arithmetically (a division
+//! for linear layouts, a logarithm for log layouts) and snaps the guess
+//! against stored edges. The reference ignores the arithmetic entirely:
+//! given the edge array, it walks every edge and reports the unique
+//! half-open interval `[edges[i], edges[i+1])` containing the value.
+//! Any disagreement means the fast path's guess-and-snap broke the
+//! half-open invariant somewhere.
+
+/// The intended edges of a `bins`-bin linear layout over `[lo, hi)`.
+///
+/// Edge `i` is `lo + (hi - lo) · (i / bins)`: the exact rational
+/// `i / bins` is formed first so representable boundaries come out
+/// exactly (edge 7 of `[0, 1) × 10` is the double `0.7`, not
+/// `7 × 0.1 = 0.7000000000000001`). This array is the *contract* — a
+/// production layout whose reported bounds differ even in the last bit
+/// has drifted, which is precisely the bug class that once sent
+/// `add(0.7)` into bin 6.
+#[must_use]
+pub fn linear_edges(lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0 && lo < hi, "invalid linear layout");
+    (0..=bins)
+        .map(|i| if i == bins { hi } else { lo + (hi - lo) * (i as f64 / bins as f64) })
+        .collect()
+}
+
+/// The intended edges of a `bins`-bin geometric layout over `[lo, hi)`.
+///
+/// Edge `i` is `lo · (hi/lo)^(i/bins)` with the endpoints pinned to
+/// `lo` and `hi` exactly — one rounding per edge, never a chain of
+/// per-bin ratio multiplications.
+#[must_use]
+pub fn log_edges(lo: f64, hi: f64, bins: usize) -> Vec<f64> {
+    assert!(bins > 0 && 0.0 < lo && lo < hi, "invalid log layout");
+    let ratio = hi / lo;
+    (0..=bins)
+        .map(|i| {
+            if i == 0 {
+                lo
+            } else if i == bins {
+                hi
+            } else {
+                lo * ratio.powf(i as f64 / bins as f64)
+            }
+        })
+        .collect()
+}
+
+/// Where a value lands relative to an edge array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefBin {
+    /// Below the first edge.
+    Under,
+    /// Inside `[edges[i], edges[i+1])`.
+    In(usize),
+    /// At or above the last edge, or not comparable (NaN).
+    Over,
+}
+
+/// Classifies `value` against ascending `edges` by scanning every edge.
+///
+/// `edges` must have at least two elements (one bin). NaN is reported as
+/// [`RefBin::Over`], matching the production convention that
+/// uncomparable values fall out of range high.
+///
+/// # Panics
+///
+/// Panics if fewer than two edges are supplied.
+#[must_use]
+pub fn bin_by_linear_search(edges: &[f64], value: f64) -> RefBin {
+    assert!(edges.len() >= 2, "need at least one bin");
+    if value.is_nan() {
+        return RefBin::Over;
+    }
+    if value < edges[0] {
+        return RefBin::Under;
+    }
+    for i in 0..edges.len() - 1 {
+        if edges[i] <= value && value < edges[i + 1] {
+            return RefBin::In(i);
+        }
+    }
+    RefBin::Over
+}
+
+/// Counts per bin (plus under/overflow) for a whole sample, by linear
+/// search per value: the reference for an entire filled histogram.
+///
+/// Non-finite values are skipped, mirroring the production histogram's
+/// contract that only finite observations are recorded.
+#[must_use]
+pub fn fill_by_linear_search(edges: &[f64], values: &[f64]) -> (u64, Vec<u64>, u64) {
+    let mut under = 0u64;
+    let mut counts = vec![0u64; edges.len() - 1];
+    let mut over = 0u64;
+    for &v in values {
+        if !v.is_finite() {
+            continue;
+        }
+        match bin_by_linear_search(edges, v) {
+            RefBin::Under => under += 1,
+            RefBin::In(i) => counts[i] += 1,
+            RefBin::Over => over += 1,
+        }
+    }
+    (under, counts, over)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_edges_hit_representable_boundaries() {
+        let e = linear_edges(0.0, 1.0, 10);
+        assert_eq!(e[7], 0.7, "edge 7 must be the double 0.7 exactly");
+        assert_eq!(e[0], 0.0);
+        assert_eq!(e[10], 1.0);
+        assert_eq!(bin_by_linear_search(&e, 0.7), RefBin::In(7));
+    }
+
+    #[test]
+    fn log_edges_pin_endpoints() {
+        let e = log_edges(1e-3, 1e3, 6);
+        assert_eq!(e[0], 1e-3);
+        assert_eq!(e[6], 1e3);
+        assert!(e.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn half_open_semantics() {
+        let edges = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(bin_by_linear_search(&edges, -0.1), RefBin::Under);
+        assert_eq!(bin_by_linear_search(&edges, 0.0), RefBin::In(0));
+        assert_eq!(bin_by_linear_search(&edges, 1.0), RefBin::In(1));
+        assert_eq!(bin_by_linear_search(&edges, 2.999), RefBin::In(2));
+        assert_eq!(bin_by_linear_search(&edges, 3.0), RefBin::Over);
+        assert_eq!(bin_by_linear_search(&edges, f64::NAN), RefBin::Over);
+        assert_eq!(bin_by_linear_search(&edges, f64::INFINITY), RefBin::Over);
+        assert_eq!(bin_by_linear_search(&edges, f64::NEG_INFINITY), RefBin::Under);
+    }
+
+    #[test]
+    fn fill_counts_finite_values_once_and_skips_the_rest() {
+        let edges = [0.0, 10.0, 20.0];
+        let (u, c, o) = fill_by_linear_search(
+            &edges,
+            &[-1.0, 0.0, 5.0, 10.0, 25.0, f64::NAN, f64::INFINITY],
+        );
+        assert_eq!((u, o), (1, 1));
+        assert_eq!(c, vec![2, 1]);
+    }
+}

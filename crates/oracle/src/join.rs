@@ -1,0 +1,53 @@
+//! Reference temporal–spatial join: the quadratic scan, written
+//! independently of `bgq-logs` (which has its own brute-force variant —
+//! a reference living next to the code it checks is one refactor away
+//! from inheriting its bugs).
+
+use bgq_model::{JobRecord, RasRecord, Severity};
+
+/// Every `(event_idx, job_idx)` pair where the event is at or above
+/// `min_severity`, its time falls inside the job's `[started_at,
+/// ended_at)` window, and its location lies inside the job's block.
+///
+/// Pairs are emitted event-major in input order, matching the
+/// production join's ordering contract.
+#[must_use]
+pub fn scan_join(
+    jobs: &[JobRecord],
+    events: &[RasRecord],
+    min_severity: Severity,
+) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (event_idx, ev) in events.iter().enumerate() {
+        if ev.severity < min_severity {
+            continue;
+        }
+        for (job_idx, job) in jobs.iter().enumerate() {
+            let during = job.started_at <= ev.event_time && ev.event_time < job.ended_at;
+            if during && job.block.contains(&ev.location) {
+                pairs.push((event_idx, job_idx));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{test_event, test_job};
+    use bgq_model::Block;
+
+    #[test]
+    fn requires_time_and_place_and_severity() {
+        let jobs = vec![test_job(1, 100, 200, Block::new(0, 2).unwrap())];
+        let events = vec![
+            test_event(1, 150, Block::new(0, 1).unwrap(), Severity::Fatal), // hit
+            test_event(2, 250, Block::new(0, 1).unwrap(), Severity::Fatal), // too late
+            test_event(3, 150, Block::new(4, 1).unwrap(), Severity::Fatal), // wrong place
+            test_event(4, 150, Block::new(0, 1).unwrap(), Severity::Info),  // filtered
+        ];
+        assert_eq!(scan_join(&jobs, &events, Severity::Fatal), vec![(0, 0)]);
+        assert_eq!(scan_join(&jobs, &events, Severity::Info).len(), 2);
+    }
+}

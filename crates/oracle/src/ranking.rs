@@ -1,0 +1,106 @@
+//! Reference ranking, quantiles, and rank correlation.
+//!
+//! The production `bgq-stats` paths compute mid-ranks with one sort and
+//! percentiles from a pre-sorted vector. The references here recompute
+//! each rank by counting (`O(n²)`) and each quantile from first
+//! principles, so an off-by-one in the production tie handling or
+//! interpolation shows up as a divergence.
+
+/// Mid-rank (1-based, ties averaged) of every element, by counting.
+///
+/// The rank of `x` is `(#values < x) + (#values == x + 1) / 2` — no
+/// sorting, just two counts per element. Returns `None` when any value
+/// is non-finite, mirroring the production contract that rank
+/// correlations on NaN/∞ data are undefined.
+#[must_use]
+pub fn mid_ranks(data: &[f64]) -> Option<Vec<f64>> {
+    if data.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    Some(
+        data.iter()
+            .map(|&x| {
+                let less = data.iter().filter(|&&y| y < x).count();
+                let ties = data.iter().filter(|&&y| y == x).count();
+                less as f64 + (ties as f64 + 1.0) / 2.0
+            })
+            .collect(),
+    )
+}
+
+/// Type-7 (linear interpolation) quantile of the finite values of
+/// `data`, or `None` if none remain or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_type7(data: &[f64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut vals: Vec<f64> = data.iter().copied().filter(|v| v.is_finite()).collect();
+    if vals.is_empty() {
+        return None;
+    }
+    vals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let h = q * (vals.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    Some(vals[lo] + (h - lo as f64) * (vals[hi] - vals[lo]))
+}
+
+/// Textbook Pearson correlation; `None` for mismatched lengths, fewer
+/// than two points, or a constant sample.
+#[must_use]
+pub fn pearson_naive(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let sxx: f64 = x.iter().map(|a| (a - mx) * (a - mx)).sum();
+    let syy: f64 = y.iter().map(|b| (b - my) * (b - my)).sum();
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some((sxy / (sxx.sqrt() * syy.sqrt())).clamp(-1.0, 1.0))
+}
+
+/// Spearman correlation as Pearson over counted mid-ranks.
+#[must_use]
+pub fn spearman_naive(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    pearson_naive(&mid_ranks(x)?, &mid_ranks(y)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counted_mid_ranks_match_hand_computation() {
+        let r = mid_ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        assert!(mid_ranks(&[1.0, f64::NAN]).is_none());
+        assert!(mid_ranks(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_type7(&data, 0.0), Some(1.0));
+        assert_eq!(quantile_type7(&data, 0.5), Some(2.5));
+        assert_eq!(quantile_type7(&data, 1.0), Some(4.0));
+        assert_eq!(quantile_type7(&data, 1.5), None);
+        assert_eq!(quantile_type7(&[f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    fn spearman_of_monotone_data_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [10.0, 100.0, 1_000.0, 10_000.0];
+        assert!((spearman_naive(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(spearman_naive(&x, &[1.0, f64::NAN, 2.0, 3.0]).is_none());
+    }
+}

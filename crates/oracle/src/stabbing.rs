@@ -1,0 +1,61 @@
+//! Reference interval queries: full scans.
+//!
+//! The production `IntervalIndex` partitions time into buckets; the
+//! references below scan every interval for every query, so bucket
+//! clamping, origin handling, and end-exclusivity in the index are all
+//! checked against the predicate written out longhand.
+
+use bgq_model::Timestamp;
+
+/// Indices of all intervals containing `t` (start-inclusive,
+/// end-exclusive), by scanning every interval.
+#[must_use]
+pub fn stab_brute(intervals: &[(Timestamp, Timestamp)], t: Timestamp) -> Vec<usize> {
+    intervals
+        .iter()
+        .enumerate()
+        .filter(|(_, (s, e))| *s <= t && t < *e)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Indices of all non-degenerate intervals overlapping `[from, to)`, by
+/// scanning every interval.
+#[must_use]
+pub fn overlapping_brute(
+    intervals: &[(Timestamp, Timestamp)],
+    from: Timestamp,
+    to: Timestamp,
+) -> Vec<usize> {
+    intervals
+        .iter()
+        .enumerate()
+        .filter(|(_, (s, e))| *s < to && from < *e && e > s)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn stab_is_end_exclusive() {
+        let iv = vec![(t(10), t(20)), (t(15), t(15)), (t(20), t(30))];
+        assert_eq!(stab_brute(&iv, t(10)), vec![0]);
+        assert_eq!(stab_brute(&iv, t(15)), vec![0]);
+        assert_eq!(stab_brute(&iv, t(19)), vec![0]);
+        assert_eq!(stab_brute(&iv, t(20)), vec![2]);
+    }
+
+    #[test]
+    fn overlap_skips_degenerate_intervals() {
+        let iv = vec![(t(0), t(10)), (t(5), t(5)), (t(9), t(2))];
+        assert_eq!(overlapping_brute(&iv, t(-100), t(100)), vec![0]);
+        assert!(overlapping_brute(&iv, t(10), t(100)).is_empty());
+    }
+}

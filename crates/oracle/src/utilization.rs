@@ -1,0 +1,77 @@
+//! Reference windowed utilization: per-second stepping.
+//!
+//! The production series clips each job's interval against each window
+//! and multiplies out node-seconds. The reference walks every second of
+//! every window and asks "which jobs are running right now?" — the
+//! slowest possible formulation, and the one where boundary attribution
+//! cannot be wrong. Because every addend is an integer node count and
+//! totals stay far below 2^53, both sides compute *exact* sums and must
+//! agree bit-for-bit.
+
+use bgq_model::{JobRecord, Machine, Span, Timestamp};
+
+/// Utilization per `window_days`-wide window, by stepping seconds.
+///
+/// Framing (series origin at the earliest job start, ceiling-divided
+/// window count over the span to the latest job end) matches the
+/// production contract so the two series are index-aligned.
+///
+/// # Panics
+///
+/// Panics if `window_days == 0`.
+#[must_use]
+pub fn utilization_by_seconds(
+    jobs: &[JobRecord],
+    machine: &Machine,
+    window_days: u32,
+) -> Vec<(Timestamp, f64)> {
+    assert!(window_days > 0, "window must be positive");
+    let (Some(start), Some(end)) = (
+        jobs.iter().map(|j| j.started_at).min(),
+        jobs.iter().map(|j| j.ended_at).max(),
+    ) else {
+        return Vec::new();
+    };
+    let window = Span::from_days(i64::from(window_days));
+    let w = window.as_secs();
+    let n = (((end - start).as_secs() + w - 1) / w).max(1);
+    let capacity = machine.total_nodes() as f64 * w as f64;
+    (0..n)
+        .map(|k| {
+            let w_start = start + Span::from_secs(w * k);
+            let mut node_secs = 0.0f64;
+            for off in 0..w {
+                let now = w_start + Span::from_secs(off);
+                for j in jobs {
+                    if j.started_at <= now && now < j.ended_at {
+                        node_secs += f64::from(j.nodes);
+                    }
+                }
+            }
+            (w_start, node_secs / capacity)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::test_job;
+    use bgq_model::Block;
+
+    #[test]
+    fn full_machine_is_utilization_one() {
+        let machine = Machine::MIRA;
+        let day = 86_400;
+        let all = Block::new(0, machine.total_midplanes() as u16).unwrap();
+        let jobs = vec![test_job(1, 0, day, all)];
+        let series = utilization_by_seconds(&jobs, &machine, 1);
+        assert_eq!(series.len(), 1);
+        assert!((series[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_empty_series() {
+        assert!(utilization_by_seconds(&[], &Machine::MIRA, 1).is_empty());
+    }
+}

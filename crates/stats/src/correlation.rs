@@ -43,7 +43,14 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
 }
 
 /// Mid-ranks of a sample (average rank for ties), 1-based.
-fn ranks(data: &[f64]) -> Vec<f64> {
+///
+/// Returns `None` when any value is non-finite: NaN has no rank, and an
+/// infinity would silently compress every other gap, so rank correlations
+/// on such data are reported as undefined rather than guessed at.
+fn ranks(data: &[f64]) -> Option<Vec<f64>> {
+    if data.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
     let mut idx: Vec<usize> = (0..data.len()).collect();
     idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("finite values"));
     let mut out = vec![0.0; data.len()];
@@ -59,26 +66,34 @@ fn ranks(data: &[f64]) -> Vec<f64> {
         }
         i = j + 1;
     }
-    out
+    Some(out)
 }
 
 /// Spearman rank correlation (Pearson on mid-ranks, so ties are handled
 /// exactly).
 ///
-/// Returns `None` under the same conditions as [`pearson`].
+/// Returns `None` under the same conditions as [`pearson`], and also when
+/// either sample contains a non-finite value (job attributes occasionally
+/// carry NaN/∞ from degenerate records; those must not panic the
+/// analysis).
 pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
     if x.len() != y.len() || x.len() < 2 {
         return None;
     }
-    pearson(&ranks(x), &ranks(y))
+    pearson(&ranks(x)?, &ranks(y)?)
 }
 
 /// Kendall's τ-b rank correlation (tie-corrected), `O(n²)`.
 ///
-/// Returns `None` for mismatched lengths, fewer than two points, or when
-/// either sample is entirely tied.
+/// Returns `None` for mismatched lengths, fewer than two points, when
+/// either sample is entirely tied, or when any value is non-finite (a NaN
+/// would otherwise be counted as a discordant pair — every comparison
+/// against it is false — skewing τ instead of flagging the data).
 pub fn kendall_tau(x: &[f64], y: &[f64]) -> Option<f64> {
     if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    if x.iter().chain(y).any(|v| !v.is_finite()) {
         return None;
     }
     let n = x.len();
@@ -134,8 +149,23 @@ mod tests {
 
     #[test]
     fn ties_get_mid_ranks() {
-        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
         assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn non_finite_inputs_return_none_instead_of_panicking() {
+        // Pre-fix: `ranks` hit `partial_cmp(..).expect(..)` on NaN and the
+        // whole analysis thread panicked.
+        assert!(spearman(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(spearman(&[1.0, 2.0, 3.0], &[1.0, f64::NAN, 3.0]).is_none());
+        // Infinities sort, but collapse every other gap; also undefined.
+        assert!(spearman(&[1.0, f64::INFINITY, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(spearman(&[f64::NEG_INFINITY, 2.0, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        // Pre-fix: kendall_tau silently counted the NaN pairs as discordant
+        // (τ = -0.33 for this input) instead of refusing to rank them.
+        assert!(kendall_tau(&[1.0, f64::NAN, 3.0], &[1.0, 2.0, 3.0]).is_none());
+        assert!(kendall_tau(&[1.0, 2.0, 3.0], &[f64::INFINITY, 2.0, 3.0]).is_none());
     }
 
     #[test]

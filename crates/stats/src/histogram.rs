@@ -8,12 +8,20 @@
 use std::fmt;
 
 /// Edge layout of a [`Histogram`].
+///
+/// `Linear` and `Log` precompute their `bins + 1` edges once at
+/// construction: [`Histogram::bin_index`] first guesses the bin with the
+/// layout's O(1) inverse (division or logarithm), then snaps the guess
+/// against the stored edges. The guess alone drifts by an ulp around exact
+/// boundaries — `(0.7 - 0.0) / 0.1` is `6.999…`, so `add(0.7)` used to
+/// land in bin 6 instead of 7 — and snapping restores the contract that a
+/// value equal to `bin_bounds(i).0` counts in bin `i`.
 #[derive(Debug, Clone, PartialEq)]
 enum Edges {
-    /// `lo + i*width` linear bins.
-    Linear { lo: f64, width: f64, bins: usize },
-    /// `lo * ratio^i` geometric bins.
-    Log { lo: f64, ratio: f64, bins: usize },
+    /// Equal-width bins; `width = (hi - lo) / bins` seeds the guess.
+    Linear { lo: f64, width: f64, edges: Vec<f64> },
+    /// Geometric bins; `ratio = (hi / lo)^(1/bins)` seeds the guess.
+    Log { lo: f64, ratio: f64, edges: Vec<f64> },
     /// Arbitrary ascending edges (n+1 edges for n bins).
     Explicit(Vec<f64>),
 }
@@ -76,11 +84,25 @@ impl Histogram {
         if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) || !lo.is_finite() || !hi.is_finite() {
             return Err(HistogramError::BadBounds);
         }
+        // Edge i as `lo + span * (i / bins)` rather than `lo + i * width`:
+        // multiplying the exact rational i/bins first reproduces
+        // representable edges exactly (e.g. bin 7 of [0, 1) / 10 is the
+        // double 0.7, not 7 * 0.1 = 0.7000000000000001).
+        let span = hi - lo;
+        let edges = (0..=bins)
+            .map(|i| {
+                if i == bins {
+                    hi
+                } else {
+                    lo + span * (i as f64 / bins as f64)
+                }
+            })
+            .collect();
         Ok(Histogram {
             edges: Edges::Linear {
                 lo,
-                width: (hi - lo) / bins as f64,
-                bins,
+                width: span / bins as f64,
+                edges,
             },
             counts: vec![0; bins],
             underflow: 0,
@@ -100,11 +122,26 @@ impl Histogram {
         if lo <= 0.0 || hi <= lo || !hi.is_finite() {
             return Err(HistogramError::BadBounds);
         }
+        // Edge i as `lo * r^(i/bins)` with the full ratio r = hi/lo (one
+        // rounding per edge, endpoints pinned exactly) instead of chaining
+        // per-bin `ratio` powers.
+        let ratio_full = hi / lo;
+        let edges = (0..=bins)
+            .map(|i| {
+                if i == 0 {
+                    lo
+                } else if i == bins {
+                    hi
+                } else {
+                    lo * ratio_full.powf(i as f64 / bins as f64)
+                }
+            })
+            .collect();
         Ok(Histogram {
             edges: Edges::Log {
                 lo,
-                ratio: (hi / lo).powf(1.0 / bins as f64),
-                bins,
+                ratio: ratio_full.powf(1.0 / bins as f64),
+                edges,
             },
             counts: vec![0; bins],
             underflow: 0,
@@ -157,28 +194,18 @@ impl Histogram {
 
     fn bin_index(&self, value: f64) -> BinIndex {
         match &self.edges {
-            Edges::Linear { lo, width, bins } => {
+            Edges::Linear { lo, width, edges } => {
                 if value < *lo {
                     BinIndex::Under
                 } else {
-                    let i = ((value - lo) / width) as usize;
-                    if i >= *bins {
-                        BinIndex::Over
-                    } else {
-                        BinIndex::In(i)
-                    }
+                    snap_to_edges(edges, ((value - lo) / width) as usize, value)
                 }
             }
-            Edges::Log { lo, ratio, bins } => {
+            Edges::Log { lo, ratio, edges } => {
                 if value < *lo {
                     BinIndex::Under
                 } else {
-                    let i = ((value / lo).ln() / ratio.ln()) as usize;
-                    if i >= *bins {
-                        BinIndex::Over
-                    } else {
-                        BinIndex::In(i)
-                    }
+                    snap_to_edges(edges, ((value / lo).ln() / ratio.ln()) as usize, value)
                 }
             }
             Edges::Explicit(edges) => {
@@ -225,15 +252,12 @@ impl Histogram {
     /// Panics if `i >= self.bins()`.
     pub fn bin_bounds(&self, i: usize) -> (f64, f64) {
         assert!(i < self.bins(), "bin index out of range");
-        match &self.edges {
-            Edges::Linear { lo, width, .. } => {
-                (lo + i as f64 * width, lo + (i as f64 + 1.0) * width)
+        let edges = match &self.edges {
+            Edges::Linear { edges, .. } | Edges::Log { edges, .. } | Edges::Explicit(edges) => {
+                edges
             }
-            Edges::Log { lo, ratio, .. } => {
-                (lo * ratio.powi(i as i32), lo * ratio.powi(i as i32 + 1))
-            }
-            Edges::Explicit(edges) => (edges[i], edges[i + 1]),
-        }
+        };
+        (edges[i], edges[i + 1])
     }
 
     /// Iterates `(lo, hi, count)` over the bins.
@@ -249,6 +273,29 @@ enum BinIndex {
     Under,
     In(usize),
     Over,
+}
+
+/// Corrects an O(1) bin guess against the authoritative edge array.
+///
+/// The caller guarantees `value >= edges[0]`. The guess comes from a
+/// floating-point inverse (division or logarithm) and may be off by one
+/// around exact edges; this bumps it until `edges[i] <= value <
+/// edges[i + 1]` holds, which is the same half-open contract
+/// [`Histogram::bin_bounds`] reports.
+fn snap_to_edges(edges: &[f64], guess: usize, value: f64) -> BinIndex {
+    let bins = edges.len() - 1;
+    let mut i = guess.min(bins);
+    while i < bins && value >= edges[i + 1] {
+        i += 1;
+    }
+    while i > 0 && value < edges[i] {
+        i -= 1;
+    }
+    if i >= bins {
+        BinIndex::Over
+    } else {
+        BinIndex::In(i)
+    }
 }
 
 #[cfg(test)]
@@ -307,6 +354,63 @@ mod tests {
             Err(HistogramError::BadBounds)
         );
         assert_eq!(Histogram::with_edges(vec![1.0]), Err(HistogramError::NoBins));
+    }
+
+    /// Regression: `(0.7 - 0.0) / 0.1 = 6.999…` used to put 0.7 in bin 6.
+    #[test]
+    fn linear_edge_values_land_in_their_own_bin() {
+        let mut h = Histogram::linear(0.0, 1.0, 10).unwrap();
+        h.add(0.7);
+        assert_eq!(h.count(7), 1, "0.7 belongs to [0.7, 0.8)");
+        assert_eq!(h.count(6), 0);
+    }
+
+    /// Every reported lower edge must count in its own bin, and every
+    /// reported upper edge in the next bin (or overflow) — for both
+    /// computed layouts.
+    #[test]
+    fn all_edges_of_both_layouts_are_half_open() {
+        let layouts = [
+            Histogram::linear(0.0, 1.0, 10).unwrap(),
+            Histogram::linear(-3.0, 7.0, 13).unwrap(),
+            Histogram::linear(1e6, 2e6, 7).unwrap(),
+            Histogram::log(1.0, 10_000.0, 4).unwrap(),
+            Histogram::log(0.1, 123.4, 9).unwrap(),
+            Histogram::log(3.0, 3e9, 17).unwrap(),
+        ];
+        for proto in layouts {
+            for i in 0..proto.bins() {
+                let (lo, hi) = proto.bin_bounds(i);
+                let mut h = proto.clone();
+                h.add(lo);
+                assert_eq!(h.count(i), 1, "lower edge {lo} must land in bin {i}");
+                let mut h = proto.clone();
+                h.add(hi);
+                if i + 1 < h.bins() {
+                    assert_eq!(h.count(i + 1), 1, "upper edge {hi} must land in bin {}", i + 1);
+                    assert_eq!(h.count(i), 0, "upper edge {hi} must not land in bin {i}");
+                } else {
+                    assert_eq!(h.overflow(), 1, "top edge {hi} must overflow");
+                }
+            }
+        }
+    }
+
+    /// The decade layout the failure-rate curves use: exact powers of ten
+    /// are bin edges and must bucket half-open.
+    #[test]
+    fn log_decades_put_powers_of_ten_on_edges() {
+        let mut h = Histogram::log(1.0, 10_000.0, 4).unwrap();
+        for v in [1.0, 10.0, 100.0, 1000.0] {
+            h.add(v);
+        }
+        for i in 0..4 {
+            assert_eq!(h.count(i), 1, "decade {i}");
+        }
+        assert_eq!(h.overflow(), 0);
+        let mut h = Histogram::log(1.0, 10_000.0, 4).unwrap();
+        h.add(10_000.0);
+        assert_eq!(h.overflow(), 1);
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Differential oracle suite: production fast paths vs `bgq-oracle`'s
+//! deliberately naive references.
+//!
+//! Each pairing below runs the same inputs through a production path
+//! and its whiteboard-obvious reference and demands agreement:
+//!
+//! | production                              | reference                             | equality   |
+//! |-----------------------------------------|---------------------------------------|------------|
+//! | `Histogram` guess-and-snap binning      | per-edge linear search                | bit-exact  |
+//! | `Summary` order statistics              | sort + type-7 interpolation           | bit-exact  |
+//! | `correlation::spearman` (sorted ranks)  | counted mid-ranks + textbook Pearson  | `1e-12`    |
+//! | `IntervalIndex` stab / overlap          | full scan per query                   | bit-exact  |
+//! | `attribute_events` (indexed join)       | quadratic scan join                   | bit-exact  |
+//! | `utilization_series` (interval clip)    | per-second stepping                   | bit-exact  |
+//!
+//! Random cases come from the vendored proptest harness (so failures
+//! shrink to minimal draw streams); the `#[ignore]`d corpus test replays
+//! a fixed-seed adversarial corpus — values exactly on bin edges,
+//! zero-duration jobs, pre-origin events, NaN/∞, all-tied samples — and
+//! is run in CI in release mode. The only documented tolerance is the
+//! Spearman pairing (`1e-12`): the two sides sum ranks in different
+//! orders. Everything else must match to the bit.
+
+use bgq_core::queueing::utilization_series;
+use bgq_logs::interval::IntervalIndex;
+use bgq_logs::join::attribute_events;
+use bgq_model::{Machine, Severity, Span, Timestamp};
+use bgq_oracle::cases::{self, AdversarialCase};
+use bgq_oracle::{binning, join as refjoin, ranking, stabbing, utilization};
+use bgq_stats::correlation::spearman;
+use bgq_stats::histogram::Histogram;
+use bgq_stats::summary::Summary;
+use proptest::prelude::*;
+
+fn ts(s: i64) -> Timestamp {
+    Timestamp::from_secs(s)
+}
+
+// ---------------------------------------------------------------------------
+// Pairing helpers, shared by the proptest properties and the fixed corpus.
+// ---------------------------------------------------------------------------
+
+/// The authoritative edge array of a histogram, as reported by its own
+/// `bin_bounds` — the reference then re-derives every bin assignment
+/// from these edges alone.
+fn harvest_edges(h: &Histogram) -> Vec<f64> {
+    let mut edges = vec![h.bin_bounds(0).0];
+    for i in 0..h.bins() {
+        edges.push(h.bin_bounds(i).1);
+    }
+    edges
+}
+
+/// Checks one histogram against the reference: the production layout's
+/// reported bounds must equal the *independently derived* `ref_edges`
+/// bit-for-bit (a layout that is merely self-consistent with drifted
+/// edges still fails here), and the filled counts must match a per-edge
+/// linear search over those reference edges.
+fn check_histogram(mut h: Histogram, ref_edges: &[f64], values: &[f64], what: &str) {
+    let harvested = harvest_edges(&h);
+    assert_eq!(harvested.len(), ref_edges.len(), "{what}: edge count diverged");
+    for (i, (got, want)) in harvested.iter().zip(ref_edges).enumerate() {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{what}: edge {i} drifted: {got} vs {want}"
+        );
+    }
+    for &v in values {
+        h.add(v);
+    }
+    let (under, counts, over) = binning::fill_by_linear_search(ref_edges, values);
+    assert_eq!(h.underflow(), under, "{what}: underflow diverged on {values:?}");
+    assert_eq!(h.overflow(), over, "{what}: overflow diverged on {values:?}");
+    for (i, &want) in counts.iter().enumerate() {
+        assert_eq!(
+            h.count(i),
+            want,
+            "{what}: bin {i} {:?} diverged on {values:?}",
+            h.bin_bounds(i),
+        );
+    }
+}
+
+fn check_linear(lo: f64, hi: f64, bins: usize, values: &[f64], what: &str) {
+    check_histogram(
+        Histogram::linear(lo, hi, bins).unwrap(),
+        &binning::linear_edges(lo, hi, bins),
+        values,
+        what,
+    );
+}
+
+fn check_all_layouts(values: &[f64]) {
+    check_linear(0.0, 1.0, 10, values, "linear[0,1)x10");
+    check_linear(-3.0, 9.0, 7, values, "linear[-3,9)x7");
+    check_histogram(
+        Histogram::log(1e-3, 1e3, 6).unwrap(),
+        &binning::log_edges(1e-3, 1e3, 6),
+        values,
+        "log decades",
+    );
+    let explicit = vec![0.0, 0.1, 0.5, 0.7, 2.0, 10.0];
+    check_histogram(
+        Histogram::with_edges(explicit.clone()).unwrap(),
+        &explicit,
+        values,
+        "explicit",
+    );
+}
+
+fn check_summary(values: &[f64]) {
+    let s = Summary::from_slice(values);
+    let reference = |q| ranking::quantile_type7(values, q);
+    match s {
+        None => assert!(
+            reference(0.5).is_none(),
+            "Summary dropped a sample the reference kept: {values:?}"
+        ),
+        Some(s) => {
+            for (q, got) in [
+                (0.0, s.min()),
+                (0.25, s.p25()),
+                (0.5, s.median()),
+                (0.75, s.p75()),
+                (0.95, s.p95()),
+                (0.99, s.p99()),
+                (1.0, s.max()),
+            ] {
+                let want = reference(q).expect("reference defined when Summary is");
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "quantile q={q} diverged on {values:?}: {got} vs {want}"
+                );
+            }
+        }
+    }
+}
+
+fn check_spearman(x: &[f64], y: &[f64]) {
+    let got = spearman(x, y);
+    let want = ranking::spearman_naive(x, y);
+    match (got, want) {
+        (None, None) => {}
+        (Some(a), Some(b)) => assert!(
+            (a - b).abs() <= 1e-12,
+            "spearman diverged: {a} vs {b} on x={x:?} y={y:?}"
+        ),
+        _ => panic!("spearman definedness diverged: {got:?} vs {want:?} on x={x:?} y={y:?}"),
+    }
+}
+
+fn check_intervals(intervals: &[(Timestamp, Timestamp)], width_secs: i64, queries: &[i64]) {
+    let idx = IntervalIndex::build(intervals.iter().copied(), Span::from_secs(width_secs));
+    for &q in queries {
+        assert_eq!(
+            idx.stab(ts(q)),
+            stabbing::stab_brute(intervals, ts(q)),
+            "stab({q}) diverged (width {width_secs}) on {intervals:?}"
+        );
+    }
+    for w in queries.windows(2) {
+        let (from, to) = (ts(w[0].min(w[1])), ts(w[0].max(w[1])));
+        assert_eq!(
+            idx.overlapping(from, to),
+            stabbing::overlapping_brute(intervals, from, to),
+            "overlapping({from:?}, {to:?}) diverged on {intervals:?}"
+        );
+    }
+}
+
+fn check_join(case: &AdversarialCase) {
+    for severity in Severity::ALL {
+        let got: Vec<(usize, usize)> = attribute_events(&case.jobs, &case.events, severity)
+            .pairs
+            .iter()
+            .map(|a| (a.event_idx, a.job_idx))
+            .collect();
+        let want = refjoin::scan_join(&case.jobs, &case.events, severity);
+        assert_eq!(
+            got, want,
+            "join diverged at {severity:?} (seed {})",
+            case.seed
+        );
+    }
+}
+
+fn check_utilization(case: &AdversarialCase) {
+    let got = utilization_series(&case.jobs, &Machine::MIRA, 1);
+    let want = utilization::utilization_by_seconds(&case.jobs, &Machine::MIRA, 1);
+    assert_eq!(got.len(), want.len(), "window count diverged (seed {})", case.seed);
+    for (i, ((gt, gv), (wt, wv))) in got.iter().zip(&want).enumerate() {
+        assert_eq!(gt, wt, "window {i} start diverged (seed {})", case.seed);
+        assert_eq!(
+            gv.to_bits(),
+            wv.to_bits(),
+            "window {i} utilization diverged: {gv} vs {wv} (seed {})",
+            case.seed
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking properties: random inputs, minimal counterexamples on failure.
+// ---------------------------------------------------------------------------
+
+/// Values that oversample histogram seams: exact edges computed two
+/// ways, decade edges, plus uniform filler and non-finite pollution.
+fn adversarial_value() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (0u64..=10).prop_map(|k| k as f64 / 10.0),
+        (0u64..=10).prop_map(|k| k as f64 * 0.1),
+        (0u64..7).prop_map(|k| 10f64.powi(k as i32 - 3)),
+        -4.0f64..12.0,
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn histogram_binning_matches_linear_search(
+        values in proptest::collection::vec(adversarial_value(), 0..40),
+    ) {
+        check_all_layouts(&values);
+    }
+
+    #[test]
+    fn random_linear_layouts_match_linear_search(
+        lo in -100.0f64..100.0,
+        span in 0.001f64..500.0,
+        bins in 1usize..40,
+        values in proptest::collection::vec(-150.0f64..650.0, 0..40),
+    ) {
+        let ref_edges = binning::linear_edges(lo, lo + span, bins);
+        // Mix in every exact edge of the layout under test.
+        let mut values = values;
+        values.extend(&ref_edges);
+        check_histogram(
+            Histogram::linear(lo, lo + span, bins).unwrap(),
+            &ref_edges,
+            &values,
+            "random linear layout",
+        );
+    }
+
+    #[test]
+    fn summary_quantiles_match_sorted_reference(
+        values in proptest::collection::vec(adversarial_value(), 0..50),
+    ) {
+        check_summary(&values);
+    }
+
+    #[test]
+    fn spearman_matches_counted_ranks(
+        pairs in proptest::collection::vec((adversarial_value(), adversarial_value()), 0..30),
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        check_spearman(&x, &y);
+    }
+
+    #[test]
+    fn interval_index_matches_full_scan(
+        raw in proptest::collection::vec((-2_000i64..10_000, -500i64..6_000), 0..40),
+        width in 1i64..400,
+        queries in proptest::collection::vec(-5_000i64..15_000, 1..30),
+    ) {
+        let intervals: Vec<(Timestamp, Timestamp)> =
+            raw.iter().map(|&(s, len)| (ts(s), ts(s + len))).collect();
+        check_intervals(&intervals, width, &queries);
+    }
+}
+
+proptest! {
+    // Fewer cases: these pairings regenerate whole job/event logs (and
+    // the utilization reference steps every second of every window).
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn join_matches_quadratic_scan(seed in 0u64..1_000_000) {
+        check_join(&cases::generate(seed));
+    }
+
+    #[test]
+    fn utilization_matches_second_stepping(seed in 0u64..1_000_000) {
+        check_utilization(&cases::generate(seed));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-seed corpus: the CI leg. Every pairing over every corpus case.
+// ---------------------------------------------------------------------------
+
+/// The pinned corpus replayed by CI (`cargo test --release --test oracle
+/// -- --ignored`). Seeds are stable: a divergence report names the seed,
+/// and `bgq_oracle::cases::generate(seed)` reproduces the exact inputs.
+#[test]
+#[ignore = "fixed-seed corpus; run explicitly (CI does, in release)"]
+fn fixed_seed_adversarial_corpus() {
+    for seed in 0..64u64 {
+        let case = cases::generate(seed);
+        check_all_layouts(&case.samples);
+        check_summary(&case.samples);
+        let half = case.samples.len() / 2;
+        check_spearman(&case.samples[..half], &case.samples[half..half * 2]);
+        let queries: Vec<i64> = (-2_000..12_000).step_by(97).collect();
+        for width in [1, 61, 997, 10_000] {
+            check_intervals(&case.intervals, width, &queries);
+        }
+        check_join(&case);
+        check_utilization(&case);
+    }
+}

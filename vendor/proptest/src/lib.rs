@@ -8,24 +8,46 @@
 //! [`string::string_regex`], [`prop_compose!`], and the [`proptest!`]
 //! macro itself.
 //!
-//! Unlike upstream proptest there is **no shrinking**: a failing case
-//! panics with the case number and the test's RNG is deterministic
-//! (seeded from the test's full module path), so failures reproduce
-//! exactly across runs.
+//! # Shrinking
+//!
+//! Unlike the original vendored stub, failing cases now **shrink**: every
+//! strategy draws randomness exclusively through [`TestRng::next_u64`],
+//! and the harness records the raw `u64` draw stream of each case. When a
+//! case fails, the runner searches for a smaller draw stream (shorter, or
+//! element-wise closer to zero) that still fails, then reports the value
+//! regenerated from that minimal stream. Because replaying an exhausted
+//! stream yields zeros, truncation alone drives collection lengths and
+//! range strategies toward their minimum — the same trick used by
+//! minithesis/hypothesis — and works through `prop_map`, `prop_flat_map`,
+//! `prop_oneof!`, and user composites without any per-type shrinker.
+//!
+//! The search is deterministic (the initial stream comes from an RNG
+//! seeded by the test's full module path and case index), so failures and
+//! their shrunken counterexamples reproduce exactly across runs.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub mod test_runner {
-    //! The per-test deterministic RNG and run configuration.
+    //! The per-test deterministic RNG, run configuration, and the
+    //! record/replay/shrink property runner.
 
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    enum Source {
+        /// Live generation: draws come from the seeded RNG and are logged.
+        Record { rng: Box<StdRng>, log: Vec<u64> },
+        /// Replay of a (possibly shrunken) draw stream; reads past the end
+        /// yield zero, which every strategy maps to its minimal value.
+        Replay { draws: Vec<u64>, pos: usize },
+    }
 
     /// Deterministic generator driving all strategies of one test case.
-    pub struct TestRng(pub(crate) StdRng);
+    pub struct TestRng(Source);
 
     impl TestRng {
-        /// The RNG for `case` of the test uniquely named `name`.
+        /// The recording RNG for `case` of the test uniquely named `name`.
         pub fn for_case(name: &str, case: u32) -> Self {
             // FNV-1a over the test name, mixed with the case index.
             let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -33,13 +55,41 @@ pub mod test_runner {
                 h ^= u64::from(b);
                 h = h.wrapping_mul(0x0000_0100_0000_01B3);
             }
-            TestRng(StdRng::seed_from_u64(h ^ (u64::from(case) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            let seed = h ^ (u64::from(case) << 1 | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            TestRng(Source::Record {
+                rng: Box::new(StdRng::seed_from_u64(seed)),
+                log: Vec::new(),
+            })
         }
 
-        /// Raw 64-bit draw (used by the combinators).
+        /// A replaying RNG over a fixed draw stream (zeros once exhausted).
+        pub fn from_draws(draws: Vec<u64>) -> Self {
+            TestRng(Source::Replay { draws, pos: 0 })
+        }
+
+        /// Raw 64-bit draw (the only randomness source for strategies).
         pub fn next_u64(&mut self) -> u64 {
-            use rand::RngCore;
-            self.0.next_u64()
+            match &mut self.0 {
+                Source::Record { rng, log } => {
+                    use rand::RngCore;
+                    let v = rng.next_u64();
+                    log.push(v);
+                    v
+                }
+                Source::Replay { draws, pos } => {
+                    let v = draws.get(*pos).copied().unwrap_or(0);
+                    *pos += 1;
+                    v
+                }
+            }
+        }
+
+        /// The draws made so far (recorded log, or the replayed prefix).
+        pub fn into_log(self) -> Vec<u64> {
+            match self.0 {
+                Source::Record { log, .. } => log,
+                Source::Replay { draws, .. } => draws,
+            }
         }
     }
 
@@ -48,12 +98,14 @@ pub mod test_runner {
     pub struct Config {
         /// Number of cases to run per property.
         pub cases: u32,
+        /// Maximum candidate executions the shrinker may spend per failure.
+        pub max_shrink_iters: u32,
     }
 
     impl Config {
         /// A config running `cases` cases.
         pub fn with_cases(cases: u32) -> Self {
-            Config { cases }
+            Config { cases, ..Config::default() }
         }
     }
 
@@ -61,8 +113,167 @@ pub mod test_runner {
         fn default() -> Self {
             // Upstream defaults to 256; 64 keeps the single-core CI
             // budget reasonable while still exercising the space.
-            Config { cases: 64 }
+            Config { cases: 64, max_shrink_iters: 1024 }
         }
+    }
+
+    fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_owned()
+        }
+    }
+
+    /// One property case: generates values from the [`TestRng`] and, when
+    /// `report` is false, runs the test body (panicking on violation).
+    /// When `report` is true it returns the `Debug` rendering of the
+    /// generated values *instead of* running the body — the runner uses
+    /// this to print the shrunken counterexample.
+    ///
+    /// The [`proptest!`] macro builds this closure; generation and
+    /// checking live in one closure so type inference in the test body
+    /// sees the concrete generated types.
+    pub type CaseFn<'a> = &'a mut dyn FnMut(&mut TestRng, bool) -> Option<String>;
+
+    /// Runs one property: `cases` recorded random cases, with draw-stream
+    /// shrinking on the first failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the test) with the shrunken counterexample when any
+    /// case fails.
+    pub fn run_property(
+        name: &str,
+        config: &Config,
+        mut case_fn: impl FnMut(&mut TestRng, bool) -> Option<String>,
+    ) {
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(name, case);
+            let failure = catch_unwind(AssertUnwindSafe(|| {
+                case_fn(&mut rng, false);
+            }))
+            .err()
+            .map(panic_message);
+            let log = rng.into_log();
+            if let Some(first_msg) = failure {
+                let (min_log, min_msg) =
+                    shrink_failure(log, first_msg, config.max_shrink_iters, &mut case_fn);
+                let repr = case_fn(&mut TestRng::from_draws(min_log.clone()), true)
+                    .unwrap_or_else(|| "<unprintable>".to_owned());
+                panic!(
+                    "property {name} failed on case {case}\n\
+                     minimal counterexample ({} draws): {repr}\n\
+                     cause: {min_msg}",
+                    min_log.len(),
+                );
+            }
+        }
+    }
+
+    /// Regenerates from `draws` and re-checks; `Some(message)` if the
+    /// property still fails on that stream.
+    fn attempt(draws: &[u64], case_fn: CaseFn<'_>) -> Option<String> {
+        let draws = draws.to_vec();
+        catch_unwind(AssertUnwindSafe(|| {
+            case_fn(&mut TestRng::from_draws(draws), false);
+        }))
+        .err()
+        .map(panic_message)
+    }
+
+    /// Greedy draw-stream shrink: repeatedly tries truncations, then per
+    /// element a zero candidate, a binary descent toward zero, and
+    /// halve/decrement nudges, keeping any candidate that still fails,
+    /// until a full pass makes no progress or the budget runs out.
+    fn shrink_failure(
+        mut log: Vec<u64>,
+        mut msg: String,
+        budget: u32,
+        case_fn: &mut impl FnMut(&mut TestRng, bool) -> Option<String>,
+    ) -> (Vec<u64>, String) {
+        // Candidate re-executions panic on purpose; silence the default
+        // hook so shrinking does not spray backtraces, and restore it
+        // afterwards (the final report re-panics with the hook restored).
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut spent = 0u32;
+        'outer: loop {
+            let mut improved = false;
+            // Truncations, most aggressive first (replay pads with zeros).
+            let mut len = 0usize;
+            while len < log.len() {
+                if spent >= budget {
+                    break 'outer;
+                }
+                spent += 1;
+                if let Some(m) = attempt(&log[..len], case_fn) {
+                    log.truncate(len);
+                    msg = m;
+                    improved = true;
+                    break;
+                }
+                len = (len * 2).max(len + 1);
+            }
+            // Element-wise moves toward zero.
+            for i in 0..log.len() {
+                if log[i] == 0 {
+                    continue;
+                }
+                if spent >= budget {
+                    break 'outer;
+                }
+                // Zero first: the single biggest simplification.
+                spent += 1;
+                let prev = log[i];
+                log[i] = 0;
+                if let Some(m) = attempt(&log, case_fn) {
+                    msg = m;
+                    improved = true;
+                    continue;
+                }
+                log[i] = prev;
+                // Binary descent: smallest still-failing value in [0, v],
+                // assuming (locally) monotone failure in the draw.
+                let (mut lo, mut hi) = (0u64, log[i]);
+                while lo + 1 < hi && spent < budget {
+                    spent += 1;
+                    let mid = lo + (hi - lo) / 2;
+                    log[i] = mid;
+                    if let Some(m) = attempt(&log, case_fn) {
+                        msg = m;
+                        improved = true;
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                log[i] = hi;
+                // Non-monotone escape hatches (useful when the strategy
+                // reduces the draw modulo a span).
+                for cand_v in [log[i] / 2, log[i].saturating_sub(1)] {
+                    if cand_v >= log[i] || spent >= budget {
+                        continue;
+                    }
+                    spent += 1;
+                    let prev = log[i];
+                    log[i] = cand_v;
+                    if let Some(m) = attempt(&log, case_fn) {
+                        msg = m;
+                        improved = true;
+                    } else {
+                        log[i] = prev;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        std::panic::set_hook(hook);
+        (log, msg)
     }
 }
 
@@ -193,26 +404,79 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-macro_rules! range_strategy {
+// All range strategies derive their value from a single `next_u64` draw so
+// that the shrinker sees every decision: a zero draw is the range minimum,
+// which is what truncated replays produce.
+macro_rules! uint_range_strategy {
     ($($t:ty),* $(,)?) => {$(
         impl Strategy for core::ops::Range<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
-                use rand::Rng;
-                rng.0.gen_range(self.clone())
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as u128 - self.start as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
             }
         }
         impl Strategy for core::ops::RangeInclusive<$t> {
             type Value = $t;
             fn generate(&self, rng: &mut TestRng) -> $t {
-                use rand::Rng;
-                rng.0.gen_range(self.clone())
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = *self.end() as u128 - *self.start() as u128 + 1;
+                self.start() + (rng.next_u64() as u128 % span) as $t
             }
         }
     )*};
 }
 
-range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 high bits → uniform fraction in [0, 1).
+                let frac = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                let v = self.start + frac * (self.end - self.start);
+                // Rounding can land exactly on the excluded upper bound.
+                if v < self.end { v } else { self.start }
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let frac = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                self.start() + frac * (self.end() - self.start())
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
 
 macro_rules! tuple_strategy {
     ($($name:ident),+) => {
@@ -440,7 +704,7 @@ macro_rules! prop_compose {
 }
 
 /// Defines deterministic random property tests, mirroring proptest's
-/// `proptest!` macro (without shrinking).
+/// `proptest!` macro, with draw-stream shrinking on failure.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -470,14 +734,19 @@ macro_rules! __proptest_tests {
         $(#[$meta])*
         fn $name() {
             let config: $crate::test_runner::Config = $config;
-            for case in 0..config.cases {
-                let mut __rng = $crate::test_runner::TestRng::for_case(
-                    concat!(module_path!(), "::", stringify!($name)),
-                    case,
-                );
-                $(let $pat = $crate::Strategy::generate(&($strategy), &mut __rng);)+
-                $body
-            }
+            $crate::test_runner::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                |__rng, __report| {
+                    let __vals = ($( $crate::Strategy::generate(&($strategy), __rng), )+);
+                    if __report {
+                        return Some(format!("{:?}", __vals));
+                    }
+                    let ($($pat,)+) = __vals;
+                    $body
+                    None
+                },
+            );
         }
         $crate::__proptest_tests!({ $config } $($rest)*);
     };
@@ -501,8 +770,8 @@ mod tests {
         }
 
         #[test]
-        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2), 5u8..7]) {
-            prop_assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        fn oneof_and_just(v in prop_oneof![Just(1u8), Just(2u8), 5u8..7]) {
+            prop_assert!([1u8, 2, 5, 6].contains(&v));
         }
     }
 
@@ -531,5 +800,50 @@ mod tests {
         let a = crate::Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("x", 3));
         let b = crate::Strategy::generate(&strat, &mut crate::test_runner::TestRng::for_case("x", 3));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_of_zeros_yields_minimum_values() {
+        let mut rng = crate::test_runner::TestRng::from_draws(vec![]);
+        let v = crate::Strategy::generate(&(5u32..50), &mut rng);
+        assert_eq!(v, 5);
+        let f = crate::Strategy::generate(&(2.5f64..9.0), &mut rng);
+        assert_eq!(f, 2.5);
+        let s = crate::Strategy::generate(&(-7i64..=7), &mut rng);
+        assert_eq!(s, -7);
+        let vs = crate::Strategy::generate(&crate::collection::vec(0u8..9, 3..10), &mut rng);
+        assert_eq!(vs, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shrinking_finds_minimal_counterexample() {
+        // Property: all vec elements < 700. Failing cases contain some
+        // element >= 700; the shrinker should reduce to the minimal form:
+        // a vec whose length is the strategy minimum with exactly one
+        // offending element at exactly 700.
+        let config = crate::test_runner::Config::with_cases(64);
+        let outcome = std::panic::catch_unwind(|| {
+            crate::test_runner::run_property("shrink_demo", &config, |rng, report| {
+                let v =
+                    crate::Strategy::generate(&crate::collection::vec(0u32..1000, 1..20), rng);
+                if report {
+                    return Some(format!("{v:?}"));
+                }
+                assert!(v.iter().all(|&x| x < 700), "element >= 700 in {v:?}");
+                None
+            });
+        });
+        let msg = match outcome {
+            Ok(()) => panic!("property unexpectedly passed"),
+            Err(p) => *p.downcast::<String>().expect("string panic"),
+        };
+        assert!(
+            msg.contains("minimal counterexample"),
+            "report missing shrink info: {msg}"
+        );
+        assert!(
+            msg.contains("[700]"),
+            "expected shrink to the single offending element [700]: {msg}"
+        );
     }
 }
