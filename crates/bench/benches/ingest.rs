@@ -1,0 +1,133 @@
+//! Ingestion benchmarks: the owned `read_all` + `decode_table` baseline
+//! against the streaming scanner + interned decode path, on the standard
+//! 30-day simulated dataset.
+//!
+//! Three layers, so a regression is attributable:
+//!
+//! * `ingest_scan` — CSV parsing only (no record decoding), owned rows
+//!   vs borrowed views over the RAS table (the table with the widest
+//!   rows and the quoted message field);
+//! * `ingest_decode` — CSV + schema decode of the RAS table from memory;
+//! * `ingest_load` — `Dataset` loads of the full four-table directory,
+//!   the materialized two-pass baseline vs the shipping streaming path.
+//!
+//! `scripts/bench_ingest.sh` parses this bench's output into
+//! `BENCH_ingest.json` and asserts the streaming path is not slower.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::io::BufReader;
+use std::path::Path;
+
+use bgq_logs::csv::{CsvReader, CsvScanner};
+use bgq_logs::schema::{decode_table, ColumnMap, Record};
+use bgq_logs::store::{Dataset, LoadOptions};
+use bgq_model::{IoRecord, JobRecord, RasRecord, TaskRecord};
+use bgq_sim::{generate, SimConfig};
+
+/// The pre-streaming load path: materialize every row as `Vec<String>`,
+/// then decode the owned table — what `Dataset::load_dir` did before the
+/// scanner existed, kept here as the baseline under measurement.
+fn load_table_owned<R: Record>(dir: &Path) -> Vec<R> {
+    let file = std::fs::File::open(dir.join(format!("{}.csv", R::TABLE))).expect("open");
+    let rows = CsvReader::new(BufReader::new(file)).read_all().expect("csv");
+    decode_table::<R>(&rows).expect("decode")
+}
+
+fn load_dir_owned(dir: &Path) -> Dataset {
+    Dataset {
+        jobs: load_table_owned::<JobRecord>(dir),
+        ras: load_table_owned::<RasRecord>(dir),
+        tasks: load_table_owned::<TaskRecord>(dir),
+        io: load_table_owned::<IoRecord>(dir),
+    }
+}
+
+/// Saves the 30-day dataset once and hands out its directory plus the
+/// RAS table text (for the in-memory scan benches).
+fn setup() -> (std::path::PathBuf, String) {
+    let out = generate(&SimConfig::small(30).with_seed(5));
+    let dir = std::env::temp_dir().join(format!("mira-ingest-bench-{}", std::process::id()));
+    out.dataset.save_dir(&dir).expect("save");
+    let ras_text = std::fs::read_to_string(dir.join("ras.csv")).expect("read ras.csv");
+    (dir, ras_text)
+}
+
+fn bench_scan(c: &mut Criterion, ras_text: &str) {
+    let mut group = c.benchmark_group("ingest_scan");
+    group.sample_size(10);
+    // Baseline: every field becomes a String, every record a Vec.
+    group.bench_function("owned", |b| {
+        b.iter(|| {
+            let rows = CsvReader::new(BufReader::new(ras_text.as_bytes()))
+                .read_all()
+                .expect("csv");
+            black_box(rows.len())
+        });
+    });
+    // Streaming: one reused record buffer, fields observed as &str.
+    group.bench_function("streaming", |b| {
+        b.iter(|| {
+            let mut scanner = CsvScanner::new(BufReader::new(ras_text.as_bytes()));
+            let mut fields = 0usize;
+            while let Some(view) = scanner.read_record().expect("csv") {
+                fields += view.len();
+            }
+            black_box(fields)
+        });
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion, ras_text: &str) {
+    let mut group = c.benchmark_group("ingest_decode");
+    group.sample_size(10);
+    group.bench_function("owned", |b| {
+        b.iter(|| {
+            let rows = CsvReader::new(BufReader::new(ras_text.as_bytes()))
+                .read_all()
+                .expect("csv");
+            black_box(decode_table::<RasRecord>(&rows).expect("decode"))
+        });
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| {
+            let mut scanner = CsvScanner::new(BufReader::new(ras_text.as_bytes()));
+            let header = scanner.read_record().expect("csv").expect("header");
+            let names: Vec<&str> = header.iter().collect();
+            let cols = ColumnMap::resolve::<RasRecord>(&names).expect("header");
+            let mut out = Vec::new();
+            while let Some(view) = scanner.read_record().expect("csv") {
+                out.push(RasRecord::decode_fields(&view, &cols).expect("decode"));
+            }
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+fn bench_load(c: &mut Criterion, dir: &Path) {
+    let mut group = c.benchmark_group("ingest_load");
+    group.sample_size(10);
+    group.bench_function("owned", |b| {
+        b.iter(|| black_box(load_dir_owned(dir)));
+    });
+    group.bench_function("streaming", |b| {
+        b.iter(|| black_box(Dataset::load_dir(dir).expect("load")));
+    });
+    group.bench_function("streaming_lenient", |b| {
+        b.iter(|| black_box(Dataset::load_dir_with(dir, &LoadOptions::default()).expect("load")));
+    });
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let (dir, ras_text) = setup();
+    bench_scan(c, &ras_text);
+    bench_decode(c, &ras_text);
+    bench_load(c, &dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

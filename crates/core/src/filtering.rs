@@ -17,7 +17,7 @@
 //! job log (or counting system-killed jobs) gives the paper's headline
 //! **mean time to interruption ≈ 3.5 days**.
 
-use bgq_model::ras::Severity;
+use bgq_model::ras::{MsgText, Severity};
 use bgq_model::{JobRecord, Location, RasRecord, Span, Timestamp};
 
 use crate::exitcode::ExitClass;
@@ -61,8 +61,8 @@ pub struct FilteredIncident {
     pub root: Location,
     /// Indices into the *RAS slice* passed to [`filter_events`].
     pub events: Vec<usize>,
-    /// Representative message (first record's text).
-    pub message: String,
+    /// Representative message (first record's text, interned).
+    pub message: MsgText,
     /// Message-id family of the first record.
     pub family: u16,
 }
@@ -122,7 +122,7 @@ struct Cluster {
     end: Timestamp,
     root: Location,
     events: Vec<usize>,
-    message: String,
+    message: MsgText,
     family: u16,
 }
 
@@ -185,7 +185,7 @@ pub fn filter_events(ras: &[RasRecord], config: &FilterConfig) -> FilterOutcome 
                         end: rec.event_time,
                         root: rec.location,
                         events: vec![idx],
-                        message: rec.message.clone(),
+                        message: rec.message,
                         family: rec.msg_id.family(),
                     }),
                 }
@@ -207,8 +207,17 @@ pub fn filter_events(ras: &[RasRecord], config: &FilterConfig) -> FilterOutcome 
                 cluster.start - prev.end <= config.similarity_window
                     && prev.root.proximity(&cluster.root) <= config.spatial_proximity
                     && (prev.family == cluster.family
-                        || jaccard(&tokens(&prev.message), &tokens(&cluster.message))
-                            >= config.similarity_threshold)
+                        // Interned-symbol equality means string equality,
+                        // and identical strings have Jaccard 1.0, so the
+                        // short-circuit is exact whenever a threshold of
+                        // 1.0 would merge (it skips tokenizing the storm
+                        // case of byte-identical messages).
+                        || (prev.message == cluster.message
+                            && config.similarity_threshold <= 1.0)
+                        || jaccard(
+                            &tokens(prev.message.as_str()),
+                            &tokens(cluster.message.as_str()),
+                        ) >= config.similarity_threshold)
             });
             if mergeable {
                 let prev = merged.last_mut().expect("just checked");
@@ -384,7 +393,7 @@ mod tests {
             component: Component::Mc,
             event_time: Timestamp::from_secs(t),
             location: loc.parse::<Location>().unwrap(),
-            message: message.to_owned(),
+            message: message.into(),
             count: 1,
         }
     }
@@ -557,7 +566,7 @@ mod tests {
                 end: Timestamp::from_secs(600),
                 root: "R00-M0-N01".parse::<Location>().unwrap(),
                 events: vec![],
-                message: String::new(),
+                message: MsgText::default(),
                 family: 8,
             };
             let miss_time = FilteredIncident {
@@ -587,7 +596,7 @@ mod tests {
                 end: Timestamp::from_secs(600),
                 root: "R20-M0-N00".parse::<Location>().unwrap(),
                 events: vec![0, 1],
-                message: String::new(),
+                message: MsgText::default(),
                 family: 1,
             };
             assert_eq!(effective_incidents(&jobs, &ras, std::slice::from_ref(&inc)), 1);

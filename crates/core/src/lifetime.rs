@@ -211,7 +211,7 @@ mod tests {
     use super::*;
     use bgq_model::ids::{JobId, ProjectId, RecId, UserId};
     use bgq_model::job::{Mode, Queue};
-    use bgq_model::ras::{Category, Component, MsgId};
+    use bgq_model::ras::{Category, Component, MsgId, MsgText};
     use bgq_model::{Block, Location};
 
     fn job(end_day: i64, exit: i32) -> JobRecord {
@@ -242,7 +242,7 @@ mod tests {
             component: Component::Mc,
             event_time: Timestamp::from_secs(day * 86_400 + 50),
             location: Location::rack(0),
-            message: String::new(),
+            message: MsgText::default(),
             count: 1,
         }
     }

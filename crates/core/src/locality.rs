@@ -131,7 +131,7 @@ fn rank_counts(map: BTreeMap<Location, usize>, total: usize, level: Level) -> Lo
 mod tests {
     use super::*;
     use bgq_model::ids::RecId;
-    use bgq_model::ras::{Category, Component, MsgId};
+    use bgq_model::ras::{Category, Component, MsgId, MsgText};
     use bgq_model::Timestamp;
 
     fn event(t: i64, loc: &str, sev: Severity) -> RasRecord {
@@ -143,7 +143,7 @@ mod tests {
             component: Component::Mc,
             event_time: Timestamp::from_secs(t),
             location: loc.parse::<Location>().unwrap(),
-            message: String::new(),
+            message: MsgText::default(),
             count: 1,
         }
     }

@@ -171,7 +171,7 @@ pub fn predict_and_evaluate(
 mod tests {
     use super::*;
     use bgq_model::ids::RecId;
-    use bgq_model::ras::{Category, Component, MsgId};
+    use bgq_model::ras::{Category, Component, MsgId, MsgText};
 
     fn warn(t: i64, loc: &str) -> RasRecord {
         RasRecord {
@@ -193,7 +193,7 @@ mod tests {
             end: Timestamp::from_secs(start + 60),
             root: loc.parse::<Location>().unwrap(),
             events: vec![],
-            message: String::new(),
+            message: MsgText::default(),
             family: 8,
         }
     }

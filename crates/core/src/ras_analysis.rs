@@ -133,6 +133,7 @@ mod tests {
     use super::*;
     use bgq_model::ids::{JobId, ProjectId, RecId, UserId};
     use bgq_model::job::{Mode, Queue};
+    use bgq_model::ras::MsgText;
     use bgq_model::{Block, Location, Timestamp};
 
     fn job(id: u64, user: u32, block: Block, start: i64, end: i64) -> JobRecord {
@@ -162,7 +163,7 @@ mod tests {
             component: Component::Mc,
             event_time: Timestamp::from_secs(t),
             location: loc.parse::<Location>().unwrap(),
-            message: String::new(),
+            message: MsgText::default(),
             count: 1,
         }
     }

@@ -50,7 +50,7 @@ prop_compose! {
             component: Component::Mc,
             event_time: Timestamp::from_secs(t),
             location: loc,
-            message: WORDS[word].to_owned(),
+            message: WORDS[word].into(),
             count: 1,
         }
     }

@@ -4,6 +4,23 @@
 //! occasionally quotes, so the codec implements proper quoting: fields
 //! containing `,`, `"`, `\r`, or `\n` are quoted, embedded quotes are
 //! doubled, and the reader accepts embedded newlines inside quoted fields.
+//!
+//! Two readers share one parser:
+//!
+//! * [`CsvScanner`] — the streaming, zero-allocation path. Each call to
+//!   [`CsvScanner::read_record`] reuses one raw line buffer and one
+//!   unescaped field buffer and yields a [`RecordView`] of `&str` slices
+//!   into them; after warm-up a scan performs no per-record heap
+//!   allocation. The view borrows the scanner, so the borrow checker
+//!   enforces the streaming contract (a view dies before the next record
+//!   is read).
+//! * [`CsvReader`] — the owned compatibility path, a thin wrapper that
+//!   copies each view into a `Vec<String>`. The differential-oracle
+//!   harness and the round-trip tests use it as the naive reference.
+//!
+//! Both paths strip a UTF-8 byte-order mark from the start of the input,
+//! accept CRLF record terminators, preserve CRLF (and bare newlines)
+//! inside quoted fields, and skip blank lines between records.
 
 use std::fmt;
 use std::io::{self, BufRead, Write};
@@ -71,17 +88,203 @@ pub fn write_record<W: Write, S: AsRef<str>>(w: &mut W, fields: &[S]) -> Result<
     Ok(())
 }
 
-/// A streaming CSV reader over any [`BufRead`].
+/// One scanned record: borrowed `&str` fields over the scanner's reused
+/// buffers.
+///
+/// Valid until the next [`CsvScanner::read_record`] call (the borrow
+/// checker enforces this). Copy out with [`RecordView::to_vec`] to keep
+/// a record.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    /// All field bytes of the record, unescaped and concatenated.
+    data: &'a str,
+    /// `ends[i]` is the exclusive end of field `i` within `data`.
+    ends: &'a [usize],
+}
+
+impl<'a> RecordView<'a> {
+    /// Number of fields in the record (always ≥ 1).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// `true` for a field-less view (never produced by the scanner: a
+    /// non-blank record has at least one field).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Field `i`, or `None` past the end.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<&'a str> {
+        let end = *self.ends.get(i)?;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        Some(&self.data[start..end])
+    }
+
+    /// Iterates the fields in order.
+    #[must_use]
+    pub fn iter(&self) -> Fields<'a> {
+        Fields {
+            data: self.data,
+            ends: self.ends,
+            next: 0,
+            prev_end: 0,
+        }
+    }
+
+    /// Copies the record out as owned strings.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<String> {
+        self.iter().map(str::to_owned).collect()
+    }
+}
+
+impl<'a> IntoIterator for RecordView<'a> {
+    type Item = &'a str;
+    type IntoIter = Fields<'a>;
+
+    fn into_iter(self) -> Fields<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the fields of a [`RecordView`].
+#[derive(Debug, Clone)]
+pub struct Fields<'a> {
+    data: &'a str,
+    ends: &'a [usize],
+    next: usize,
+    prev_end: usize,
+}
+
+impl<'a> Iterator for Fields<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let end = *self.ends.get(self.next)?;
+        let field = &self.data[self.prev_end..end];
+        self.prev_end = end;
+        self.next += 1;
+        Some(field)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.ends.len() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Fields<'_> {}
+
+/// A streaming, zero-allocation CSV scanner over any [`BufRead`].
+///
+/// The raw record text and the unescaped field bytes live in two buffers
+/// owned by the scanner and reused across records, so a full-file scan
+/// allocates only while a buffer grows to the longest record seen.
 #[derive(Debug)]
-pub struct CsvReader<R> {
+pub struct CsvScanner<R> {
     inner: R,
     line: usize,
+    /// Raw record text as read (may span lines for quoted newlines).
+    raw: String,
+    /// Unescaped field bytes of the current record, concatenated.
+    data: String,
+    /// Exclusive end offset of each field within `data`.
+    ends: Vec<usize>,
+    /// Whether a UTF-8 BOM may still be pending (start of input).
+    at_start: bool,
+}
+
+impl<R: BufRead> CsvScanner<R> {
+    /// Wraps a buffered reader.
+    pub fn new(inner: R) -> Self {
+        CsvScanner {
+            inner,
+            line: 0,
+            raw: String::new(),
+            data: String::new(),
+            ends: Vec::new(),
+            at_start: true,
+        }
+    }
+
+    /// Reads the next record into the reused buffers; `Ok(None)` at end
+    /// of input. Blank lines are skipped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsvError::Malformed`] on an unterminated quote or
+    /// garbage after a closing quote (the offending text is consumed, so
+    /// a lenient caller can continue with the next record) and
+    /// [`CsvError::Io`] on read failures.
+    pub fn read_record(&mut self) -> Result<Option<RecordView<'_>>, CsvError> {
+        loop {
+            self.raw.clear();
+            let start_line = self.line + 1;
+            let mut quotes = 0usize;
+            loop {
+                let before = self.raw.len();
+                let n = self.inner.read_line(&mut self.raw)?;
+                if n == 0 {
+                    if self.raw.is_empty() {
+                        return Ok(None);
+                    }
+                    // EOF without trailing newline: fall through and parse.
+                    if !quotes.is_multiple_of(2) {
+                        return Err(CsvError::Malformed {
+                            line: start_line,
+                            reason: "unterminated quoted field at end of input",
+                        });
+                    }
+                    break;
+                }
+                self.line += 1;
+                if self.at_start {
+                    self.at_start = false;
+                    if self.raw.starts_with('\u{feff}') {
+                        self.raw.drain(..'\u{feff}'.len_utf8());
+                    }
+                }
+                quotes += count_quotes(&self.raw[before..]);
+                // A record is complete when quotes balance.
+                if quotes.is_multiple_of(2) {
+                    break;
+                }
+            }
+            // Strip the record terminator.
+            while self.raw.ends_with('\n') || self.raw.ends_with('\r') {
+                self.raw.pop();
+            }
+            if self.raw.is_empty() {
+                continue; // blank line between records
+            }
+            parse_record(&self.raw, start_line, &mut self.data, &mut self.ends)?;
+            return Ok(Some(RecordView {
+                data: &self.data,
+                ends: &self.ends,
+            }));
+        }
+    }
+}
+
+/// A streaming CSV reader over any [`BufRead`], yielding owned records.
+///
+/// Thin wrapper over [`CsvScanner`]: the scan itself reuses one record
+/// buffer across records; only the returned `Vec<String>` is fresh.
+#[derive(Debug)]
+pub struct CsvReader<R> {
+    scanner: CsvScanner<R>,
 }
 
 impl<R: BufRead> CsvReader<R> {
     /// Wraps a buffered reader.
     pub fn new(inner: R) -> Self {
-        CsvReader { inner, line: 0 }
+        CsvReader {
+            scanner: CsvScanner::new(inner),
+        }
     }
 
     /// Reads the next record; `Ok(None)` at end of input.
@@ -91,40 +294,7 @@ impl<R: BufRead> CsvReader<R> {
     /// Returns [`CsvError::Malformed`] on an unterminated quote and
     /// [`CsvError::Io`] on read failures.
     pub fn read_record(&mut self) -> Result<Option<Vec<String>>, CsvError> {
-        let mut raw = String::new();
-        let start_line = self.line + 1;
-        loop {
-            let before = raw.len();
-            let n = self.inner.read_line(&mut raw)?;
-            if n == 0 {
-                if raw.is_empty() {
-                    return Ok(None);
-                }
-                // EOF without trailing newline: fall through and parse.
-                if !count_unescaped_quotes(&raw).is_multiple_of(2) {
-                    return Err(CsvError::Malformed {
-                        line: start_line,
-                        reason: "unterminated quoted field at end of input",
-                    });
-                }
-                break;
-            }
-            self.line += 1;
-            let _ = before;
-            // A record is complete when quotes balance.
-            if count_unescaped_quotes(&raw).is_multiple_of(2) {
-                break;
-            }
-        }
-        // Strip the record terminator.
-        while raw.ends_with('\n') || raw.ends_with('\r') {
-            raw.pop();
-        }
-        if raw.is_empty() {
-            // Blank line: skip it (recurse once; blank runs are short).
-            return self.read_record();
-        }
-        parse_line(&raw, start_line).map(Some)
+        Ok(self.scanner.read_record()?.map(|view| view.to_vec()))
     }
 
     /// Reads every remaining record.
@@ -165,76 +335,73 @@ impl<R: BufRead> CsvReader<R> {
     }
 }
 
-fn count_unescaped_quotes(s: &str) -> usize {
+fn count_quotes(s: &str) -> usize {
     s.bytes().filter(|&b| b == b'"').count()
 }
 
-fn parse_line(raw: &str, line: usize) -> Result<Vec<String>, CsvError> {
-    let mut fields = Vec::new();
-    let mut field = String::new();
-    let mut chars = raw.chars().peekable();
+/// Parses one raw record (terminator already stripped) into the reused
+/// `data`/`ends` buffers. Byte-level: every delimiter is ASCII, so byte
+/// scanning is UTF-8 safe and chunks are copied with `push_str`.
+fn parse_record(
+    raw: &str,
+    line: usize,
+    data: &mut String,
+    ends: &mut Vec<usize>,
+) -> Result<(), CsvError> {
+    data.clear();
+    ends.clear();
+    let bytes = raw.as_bytes();
+    let mut i = 0usize;
     loop {
-        match chars.peek() {
-            None => {
-                fields.push(std::mem::take(&mut field));
-                return Ok(fields);
-            }
-            Some('"') => {
-                chars.next();
-                // Quoted field: read until the closing quote.
-                loop {
-                    match chars.next() {
-                        None => {
-                            return Err(CsvError::Malformed {
-                                line,
-                                reason: "unterminated quoted field",
-                            })
-                        }
-                        Some('"') => {
-                            if chars.peek() == Some(&'"') {
-                                chars.next();
-                                field.push('"');
-                            } else {
-                                break;
-                            }
-                        }
-                        Some(c) => field.push(c),
-                    }
-                }
-                match chars.next() {
-                    None => {
-                        fields.push(std::mem::take(&mut field));
-                        return Ok(fields);
-                    }
-                    Some(',') => fields.push(std::mem::take(&mut field)),
-                    Some(_) => {
-                        return Err(CsvError::Malformed {
-                            line,
-                            reason: "garbage after closing quote",
-                        })
-                    }
+        if i >= bytes.len() {
+            // Record ends right where a field would start: empty field.
+            ends.push(data.len());
+            return Ok(());
+        }
+        if bytes[i] == b'"' {
+            // Quoted field: copy chunks between doubled quotes.
+            i += 1;
+            let mut chunk = i;
+            loop {
+                let Some(q) = bytes[i..].iter().position(|&b| b == b'"').map(|p| i + p) else {
+                    return Err(CsvError::Malformed {
+                        line,
+                        reason: "unterminated quoted field",
+                    });
+                };
+                data.push_str(&raw[chunk..q]);
+                if bytes.get(q + 1) == Some(&b'"') {
+                    data.push('"');
+                    i = q + 2;
+                    chunk = i;
+                } else {
+                    i = q + 1;
+                    break;
                 }
             }
-            Some(_) => {
-                // Unquoted field: read until comma or end.
-                loop {
-                    match chars.peek() {
-                        None => {
-                            fields.push(std::mem::take(&mut field));
-                            return Ok(fields);
-                        }
-                        Some(',') => {
-                            chars.next();
-                            fields.push(std::mem::take(&mut field));
-                            break;
-                        }
-                        Some(&c) => {
-                            chars.next();
-                            field.push(c);
-                        }
-                    }
+            ends.push(data.len());
+            match bytes.get(i) {
+                None => return Ok(()),
+                Some(b',') => i += 1,
+                Some(_) => {
+                    return Err(CsvError::Malformed {
+                        line,
+                        reason: "garbage after closing quote",
+                    })
                 }
             }
+        } else {
+            // Unquoted field: one chunk up to the comma or record end.
+            let end = bytes[i..]
+                .iter()
+                .position(|&b| b == b',')
+                .map_or(bytes.len(), |p| i + p);
+            data.push_str(&raw[i..end]);
+            ends.push(data.len());
+            if end == bytes.len() {
+                return Ok(());
+            }
+            i = end + 1;
         }
     }
 }
@@ -251,6 +418,16 @@ mod tests {
         let rec = reader.read_record().unwrap().unwrap();
         assert!(reader.read_record().unwrap().is_none());
         rec
+    }
+
+    /// Scans `text` with the borrowing scanner, copying each view out.
+    fn scan_all(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+        let mut scanner = CsvScanner::new(BufReader::new(text.as_bytes()));
+        let mut out = Vec::new();
+        while let Some(view) = scanner.read_record()? {
+            out.push(view.to_vec());
+        }
+        Ok(out)
     }
 
     #[test]
@@ -352,5 +529,124 @@ mod tests {
         let (records, rejected) = reader.read_all_counting().unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(rejected, 0);
+    }
+
+    // -- Borrowing scanner ------------------------------------------------
+
+    #[test]
+    fn scanner_matches_owned_reader() {
+        let text = "a,b,c\n\"q,uo\"\"ted\",plain\n\nlast,\n";
+        let owned = CsvReader::new(BufReader::new(text.as_bytes()))
+            .read_all()
+            .unwrap();
+        assert_eq!(scan_all(text).unwrap(), owned);
+    }
+
+    #[test]
+    fn scanner_view_accessors() {
+        let text = "one,two,three\n";
+        let mut scanner = CsvScanner::new(BufReader::new(text.as_bytes()));
+        let view = scanner.read_record().unwrap().unwrap();
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.get(0), Some("one"));
+        assert_eq!(view.get(2), Some("three"));
+        assert_eq!(view.get(3), None);
+        let fields: Vec<&str> = view.iter().collect();
+        assert_eq!(fields, vec!["one", "two", "three"]);
+        assert_eq!(view.iter().len(), 3);
+    }
+
+    #[test]
+    fn scanner_reuses_buffers_across_records() {
+        // A long first record followed by a short one: the short view
+        // must not see stale bytes from the long record.
+        let text = "aaaaaaaaaaaaaaaa,bbbbbbbbbbbbbbbb\nx,y\n";
+        let mut scanner = CsvScanner::new(BufReader::new(text.as_bytes()));
+        assert_eq!(
+            scanner.read_record().unwrap().unwrap().to_vec(),
+            vec!["aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb"]
+        );
+        let second = scanner.read_record().unwrap().unwrap();
+        assert_eq!(second.to_vec(), vec!["x", "y"]);
+        assert!(scanner.read_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn utf8_bom_on_header_is_stripped_by_both_paths() {
+        let text = "\u{feff}job_id,user\n1,2\n";
+        let owned = CsvReader::new(BufReader::new(text.as_bytes()))
+            .read_all()
+            .unwrap();
+        assert_eq!(owned[0], vec!["job_id", "user"], "owned path kept the BOM");
+        assert_eq!(scan_all(text).unwrap(), owned);
+        // A BOM mid-file is content, not a BOM.
+        let mid = "a,b\n\u{feff}c,d\n";
+        let rows = scan_all(mid).unwrap();
+        assert_eq!(rows[1][0], "\u{feff}c");
+    }
+
+    #[test]
+    fn crlf_inside_quoted_field_is_preserved() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &["head\r\ntail", "x"]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let rows = scan_all(&text).unwrap();
+        assert_eq!(rows, vec![vec!["head\r\ntail".to_owned(), "x".to_owned()]]);
+        // Same through the owned reader.
+        let owned = CsvReader::new(BufReader::new(text.as_bytes()))
+            .read_all()
+            .unwrap();
+        assert_eq!(owned, rows);
+    }
+
+    #[test]
+    fn scanner_counts_rejects_exactly_like_owned_reader() {
+        // Mix of clean rows, garbage-after-quote, and an unterminated
+        // quote at EOF; both paths must agree on accepted rows and the
+        // reject count.
+        let text = "h1,h2\nok,row\n\"x\"y,z\nfine,\"quoted\"\n\"open";
+        let (owned_rows, owned_rejects) = CsvReader::new(BufReader::new(text.as_bytes()))
+            .read_all_counting()
+            .unwrap();
+        let mut scanner = CsvScanner::new(BufReader::new(text.as_bytes()));
+        let mut scanned_rows = Vec::new();
+        let mut scanned_rejects = 0usize;
+        loop {
+            match scanner.read_record() {
+                Ok(Some(view)) => scanned_rows.push(view.to_vec()),
+                Ok(None) => break,
+                Err(CsvError::Malformed { .. }) => scanned_rejects += 1,
+                Err(e) => panic!("unexpected i/o error: {e}"),
+            }
+        }
+        assert_eq!(scanned_rows, owned_rows);
+        assert_eq!(scanned_rejects, owned_rejects);
+        assert_eq!(scanned_rejects, 2);
+    }
+
+    #[test]
+    fn scanner_continues_after_malformed_record() {
+        let text = "\"bad\"x\ngood,row\n";
+        let mut scanner = CsvScanner::new(BufReader::new(text.as_bytes()));
+        assert!(matches!(
+            scanner.read_record(),
+            Err(CsvError::Malformed { .. })
+        ));
+        assert_eq!(
+            scanner.read_record().unwrap().unwrap().to_vec(),
+            vec!["good", "row"]
+        );
+    }
+
+    #[test]
+    fn malformed_error_reports_record_start_line() {
+        let text = "ok,row\n\"abc\"x\n";
+        let mut scanner = CsvScanner::new(BufReader::new(text.as_bytes()));
+        scanner.read_record().unwrap();
+        match scanner.read_record() {
+            Err(CsvError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 }

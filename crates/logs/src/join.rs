@@ -176,7 +176,7 @@ mod tests {
     use super::*;
     use bgq_model::ids::{JobId, ProjectId, RecId, UserId};
     use bgq_model::job::{Mode, Queue};
-    use bgq_model::ras::{Category, Component, MsgId};
+    use bgq_model::ras::{Category, Component, MsgId, MsgText};
     use bgq_model::{Block, Location, Timestamp};
 
     fn job(id: u64, start: i64, end: i64, block: Block) -> JobRecord {
@@ -206,7 +206,7 @@ mod tests {
             component: Component::Mc,
             event_time: Timestamp::from_secs(t),
             location: loc.parse::<Location>().unwrap(),
-            message: String::new(),
+            message: MsgText::default(),
             count: 1,
         }
     }

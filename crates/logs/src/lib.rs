@@ -28,7 +28,8 @@ pub mod join;
 pub mod schema;
 pub mod store;
 
+pub use csv::{CsvReader, CsvScanner, RecordView};
 pub use interval::IntervalIndex;
 pub use join::{attribute_events, attribute_events_brute, Attribution, JoinResult};
-pub use schema::{Record, SchemaError};
+pub use schema::{ColumnMap, Fields, Record, SchemaError, SchemaErrorKind};
 pub use store::{Dataset, StoreError};

@@ -3,32 +3,211 @@
 //! Each record maps to a flat row of strings; timestamps are stored as
 //! epoch seconds for compactness (the [`bgq_model::time::Timestamp`] parser
 //! accepts both forms).
+//!
+//! Decoding is column-mapped: a [`ColumnMap`] is resolved **once** per
+//! table from the file's header row, and every row decode then reaches
+//! each field by array index — no per-row header scan. Rows arrive either
+//! as borrowed [`RecordView`]s from the streaming scanner or as owned
+//! `&[String]` slices from the compatibility path; both implement
+//! [`Fields`].
 
 use std::fmt;
 
-use bgq_model::{Block, IoRecord, JobRecord, RasRecord, TaskRecord};
+use bgq_model::{Block, IoRecord, JobRecord, MsgText, RasRecord, TaskRecord};
+
+use crate::csv::RecordView;
+
+/// What went wrong while decoding a row (or resolving a header).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaErrorKind {
+    /// The header row is missing, the wrong shape, or has duplicates.
+    Header,
+    /// The header names a column this table does not declare.
+    UnknownColumn,
+    /// A declared column is absent from the row (row too short).
+    MissingField,
+    /// A field was present but failed to parse.
+    BadValue,
+}
 
 /// Error produced when decoding a CSV row into a record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SchemaError {
     /// Which log the row belonged to.
     pub table: &'static str,
-    /// The field (by header name) that failed to decode.
+    /// The field (by header name) that failed to decode, or `"header"`
+    /// for header-level errors.
     pub field: &'static str,
-    /// The offending raw value, if the field was present.
+    /// The offending raw value, if one was present.
     pub value: Option<String>,
+    /// Classification of the failure.
+    pub kind: SchemaErrorKind,
 }
 
 impl fmt::Display for SchemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.value {
-            Some(v) => write!(f, "{}: bad {} value {:?}", self.table, self.field, v),
-            None => write!(f, "{}: missing field {}", self.table, self.field),
+        match self.kind {
+            SchemaErrorKind::Header => match &self.value {
+                Some(v) => write!(f, "{}: bad header {:?}", self.table, v),
+                None => write!(f, "{}: missing header", self.table),
+            },
+            SchemaErrorKind::UnknownColumn => match &self.value {
+                Some(v) => write!(f, "{}: unknown column {:?}", self.table, v),
+                None => write!(f, "{}: unknown column {}", self.table, self.field),
+            },
+            SchemaErrorKind::MissingField => {
+                write!(f, "{}: missing field {}", self.table, self.field)
+            }
+            SchemaErrorKind::BadValue => write!(
+                f,
+                "{}: bad {} value {:?}",
+                self.table,
+                self.field,
+                self.value.as_deref().unwrap_or("")
+            ),
         }
     }
 }
 
 impl std::error::Error for SchemaError {}
+
+/// A row of fields addressable by file-column index.
+///
+/// Implemented for the streaming scanner's borrowed [`RecordView`] and
+/// for owned `&[String]` rows, so one decoder serves both paths.
+pub trait Fields {
+    /// Field at file-column `i`, or `None` past the end of the row.
+    fn field(&self, i: usize) -> Option<&str>;
+}
+
+impl Fields for &[String] {
+    fn field(&self, i: usize) -> Option<&str> {
+        self.get(i).map(String::as_str)
+    }
+}
+
+impl Fields for RecordView<'_> {
+    fn field(&self, i: usize) -> Option<&str> {
+        self.get(i)
+    }
+}
+
+/// Mapping from a table's declared column order to a file's actual
+/// column order, resolved once per table from the header row.
+///
+/// The common case — the file header matches the declared header exactly
+/// — costs nothing per lookup ([`ColumnMap::file_index`] is the identity).
+/// A permuted header (same columns, different order) resolves to an index
+/// table; anything else (missing, unknown, or duplicated columns) is a
+/// header-level [`SchemaError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMap(MapRepr);
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum MapRepr {
+    /// File columns are exactly the declared columns, in order.
+    Identity(usize),
+    /// `map[decl]` is the file column holding declared column `decl`.
+    Permuted(Box<[usize]>),
+}
+
+impl ColumnMap {
+    /// The identity mapping over `len` columns (file order == declared
+    /// order). This is what [`Record::decode`] uses for encoded rows.
+    #[must_use]
+    pub fn identity(len: usize) -> Self {
+        ColumnMap(MapRepr::Identity(len))
+    }
+
+    /// Resolves the mapping for record type `R` from a file header row.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchemaError`] with kind
+    /// [`SchemaErrorKind::UnknownColumn`] if the header names a column
+    /// `R` does not declare, and kind [`SchemaErrorKind::Header`] if the
+    /// header has the wrong number of columns or duplicates one.
+    pub fn resolve<R: Record>(file_header: &[&str]) -> Result<Self, SchemaError> {
+        let declared = R::HEADER;
+        if file_header.len() == declared.len()
+            && file_header.iter().zip(declared).all(|(f, d)| f == d)
+        {
+            return Ok(ColumnMap(MapRepr::Identity(declared.len())));
+        }
+        // Any column name we do not declare gets the distinct
+        // "unknown column" error, not a generic header mismatch.
+        for name in file_header {
+            if !declared.contains(name) {
+                return Err(SchemaError {
+                    table: R::TABLE,
+                    field: "header",
+                    value: Some((*name).to_owned()),
+                    kind: SchemaErrorKind::UnknownColumn,
+                });
+            }
+        }
+        let header_error = || SchemaError {
+            table: R::TABLE,
+            field: "header",
+            value: Some(file_header.join(",")),
+            kind: SchemaErrorKind::Header,
+        };
+        if file_header.len() != declared.len() {
+            // All names are known, so the count is off (a duplicate or a
+            // dropped column).
+            return Err(header_error());
+        }
+        // Same names, same count, different order: build the permutation.
+        let mut map = vec![usize::MAX; declared.len()];
+        for (decl, name) in declared.iter().enumerate() {
+            // Every declared name occurs (no unknown names + equal
+            // lengths + no duplicates, checked below).
+            let Some(idx) = file_header.iter().position(|h| h == name) else {
+                return Err(header_error()); // a duplicate crowded it out
+            };
+            map[decl] = idx;
+        }
+        let mut seen = vec![false; map.len()];
+        for &idx in &*map {
+            if std::mem::replace(&mut seen[idx], true) {
+                return Err(header_error());
+            }
+        }
+        Ok(ColumnMap(MapRepr::Permuted(map.into_boxed_slice())))
+    }
+
+    /// File column holding declared column `decl` — a plain array index,
+    /// resolved once at header time.
+    #[inline]
+    #[must_use]
+    pub fn file_index(&self, decl: usize) -> usize {
+        match &self.0 {
+            MapRepr::Identity(_) => decl,
+            MapRepr::Permuted(map) => map[decl],
+        }
+    }
+
+    /// Number of mapped columns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            MapRepr::Identity(len) => *len,
+            MapRepr::Permuted(map) => map.len(),
+        }
+    }
+
+    /// `true` for a zero-column map.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` when file order equals declared order (the fast path).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        matches!(self.0, MapRepr::Identity(_))
+    }
+}
 
 /// A log table that can round-trip through CSV rows.
 pub trait Record: Sized {
@@ -40,41 +219,68 @@ pub trait Record: Sized {
     /// Encodes to one CSV row (same order as [`Record::HEADER`]).
     fn encode(&self) -> Vec<String>;
 
-    /// Decodes from one CSV row.
+    /// Decodes from one row of fields, using a [`ColumnMap`] resolved
+    /// from the table's header. Works on borrowed scanner views and
+    /// owned rows alike.
     ///
     /// # Errors
     ///
     /// Returns [`SchemaError`] naming the first offending field.
-    fn decode(row: &[String]) -> Result<Self, SchemaError>;
+    fn decode_fields<F: Fields>(fields: &F, cols: &ColumnMap) -> Result<Self, SchemaError>;
+
+    /// Decodes from one owned CSV row in declared column order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError`] naming the first offending field.
+    fn decode(row: &[String]) -> Result<Self, SchemaError> {
+        Self::decode_fields(&row, &ColumnMap::identity(Self::HEADER.len()))
+    }
 }
 
-struct Row<'a> {
+/// Field accessor bound to one row: every lookup is
+/// `fields[cols.file_index(decl)]` — an array index, not a header scan.
+struct Row<'a, F> {
     table: &'static str,
     header: &'static [&'static str],
-    fields: &'a [String],
+    cols: &'a ColumnMap,
+    fields: &'a F,
 }
 
-impl<'a> Row<'a> {
-    fn get(&self, name: &'static str) -> Result<&'a str, SchemaError> {
-        let idx = self
-            .header
-            .iter()
-            .position(|h| *h == name)
-            .unwrap_or(usize::MAX);
-        self.fields.get(idx).map(String::as_str).ok_or(SchemaError {
-            table: self.table,
-            field: name,
-            value: None,
-        })
+impl<'a, F: Fields> Row<'a, F> {
+    fn get(&self, decl: usize, name: &'static str) -> Result<&'a str, SchemaError> {
+        debug_assert_eq!(self.header[decl], name, "declared index out of sync");
+        self.fields
+            .field(self.cols.file_index(decl))
+            .ok_or(SchemaError {
+                table: self.table,
+                field: name,
+                value: None,
+                kind: SchemaErrorKind::MissingField,
+            })
     }
 
-    fn parse<T: std::str::FromStr>(&self, name: &'static str) -> Result<T, SchemaError> {
-        let raw = self.get(name)?;
+    fn parse<T: std::str::FromStr>(
+        &self,
+        decl: usize,
+        name: &'static str,
+    ) -> Result<T, SchemaError> {
+        let raw = self.get(decl, name)?;
         raw.parse().map_err(|_| SchemaError {
             table: self.table,
             field: name,
             value: Some(raw.to_owned()),
+            kind: SchemaErrorKind::BadValue,
         })
+    }
+}
+
+fn row<'a, R: Record, F: Fields>(cols: &'a ColumnMap, fields: &'a F) -> Row<'a, F> {
+    Row {
+        table: R::TABLE,
+        header: R::HEADER,
+        cols,
+        fields,
     }
 }
 
@@ -114,26 +320,22 @@ impl Record for JobRecord {
         ]
     }
 
-    fn decode(row: &[String]) -> Result<Self, SchemaError> {
-        let r = Row {
-            table: Self::TABLE,
-            header: Self::HEADER,
-            fields: row,
-        };
+    fn decode_fields<F: Fields>(fields: &F, cols: &ColumnMap) -> Result<Self, SchemaError> {
+        let r = row::<Self, F>(cols, fields);
         Ok(JobRecord {
-            job_id: r.parse("job_id")?,
-            user: r.parse("user")?,
-            project: r.parse("project")?,
-            queue: r.parse("queue")?,
-            nodes: r.parse("nodes")?,
-            mode: r.parse("mode")?,
-            requested_walltime_s: r.parse("requested_walltime_s")?,
-            queued_at: r.parse("queued_at")?,
-            started_at: r.parse("started_at")?,
-            ended_at: r.parse("ended_at")?,
-            block: r.parse::<Block>("block")?,
-            exit_code: r.parse("exit_code")?,
-            num_tasks: r.parse("num_tasks")?,
+            job_id: r.parse(0, "job_id")?,
+            user: r.parse(1, "user")?,
+            project: r.parse(2, "project")?,
+            queue: r.parse(3, "queue")?,
+            nodes: r.parse(4, "nodes")?,
+            mode: r.parse(5, "mode")?,
+            requested_walltime_s: r.parse(6, "requested_walltime_s")?,
+            queued_at: r.parse(7, "queued_at")?,
+            started_at: r.parse(8, "started_at")?,
+            ended_at: r.parse(9, "ended_at")?,
+            block: r.parse::<Block>(10, "block")?,
+            exit_code: r.parse(11, "exit_code")?,
+            num_tasks: r.parse(12, "num_tasks")?,
         })
     }
 }
@@ -162,26 +364,24 @@ impl Record for RasRecord {
             self.event_time.as_secs().to_string(),
             self.location.to_string(),
             self.count.to_string(),
-            self.message.clone(),
+            self.message.as_str().to_owned(),
         ]
     }
 
-    fn decode(row: &[String]) -> Result<Self, SchemaError> {
-        let r = Row {
-            table: Self::TABLE,
-            header: Self::HEADER,
-            fields: row,
-        };
+    fn decode_fields<F: Fields>(fields: &F, cols: &ColumnMap) -> Result<Self, SchemaError> {
+        let r = row::<Self, F>(cols, fields);
         Ok(RasRecord {
-            rec_id: r.parse("rec_id")?,
-            msg_id: r.parse("msg_id")?,
-            severity: r.parse("severity")?,
-            category: r.parse("category")?,
-            component: r.parse("component")?,
-            event_time: r.parse("event_time")?,
-            location: r.parse("location")?,
-            count: r.parse("count")?,
-            message: r.get("message")?.to_owned(),
+            rec_id: r.parse(0, "rec_id")?,
+            msg_id: r.parse(1, "msg_id")?,
+            severity: r.parse(2, "severity")?,
+            category: r.parse(3, "category")?,
+            component: r.parse(4, "component")?,
+            event_time: r.parse(5, "event_time")?,
+            location: r.parse(6, "location")?,
+            count: r.parse(7, "count")?,
+            // Interned straight from the borrowed field slice: no
+            // intermediate String on either decode path.
+            message: MsgText::intern(r.get(8, "message")?),
         })
     }
 }
@@ -205,21 +405,17 @@ impl Record for TaskRecord {
         ]
     }
 
-    fn decode(row: &[String]) -> Result<Self, SchemaError> {
-        let r = Row {
-            table: Self::TABLE,
-            header: Self::HEADER,
-            fields: row,
-        };
+    fn decode_fields<F: Fields>(fields: &F, cols: &ColumnMap) -> Result<Self, SchemaError> {
+        let r = row::<Self, F>(cols, fields);
         Ok(TaskRecord {
-            task_id: r.parse("task_id")?,
-            job_id: r.parse("job_id")?,
-            seq: r.parse("seq")?,
-            block: r.parse("block")?,
-            started_at: r.parse("started_at")?,
-            ended_at: r.parse("ended_at")?,
-            ranks: r.parse("ranks")?,
-            exit_code: r.parse("exit_code")?,
+            task_id: r.parse(0, "task_id")?,
+            job_id: r.parse(1, "job_id")?,
+            seq: r.parse(2, "seq")?,
+            block: r.parse(3, "block")?,
+            started_at: r.parse(4, "started_at")?,
+            ended_at: r.parse(5, "ended_at")?,
+            ranks: r.parse(6, "ranks")?,
+            exit_code: r.parse(7, "exit_code")?,
         })
     }
 }
@@ -247,41 +443,48 @@ impl Record for IoRecord {
         ]
     }
 
-    fn decode(row: &[String]) -> Result<Self, SchemaError> {
-        let r = Row {
-            table: Self::TABLE,
-            header: Self::HEADER,
-            fields: row,
-        };
+    fn decode_fields<F: Fields>(fields: &F, cols: &ColumnMap) -> Result<Self, SchemaError> {
+        let r = row::<Self, F>(cols, fields);
         Ok(IoRecord {
-            job_id: r.parse("job_id")?,
-            bytes_read: r.parse("bytes_read")?,
-            bytes_written: r.parse("bytes_written")?,
-            files_read: r.parse("files_read")?,
-            files_written: r.parse("files_written")?,
-            io_time_s: r.parse("io_time_s")?,
+            job_id: r.parse(0, "job_id")?,
+            bytes_read: r.parse(1, "bytes_read")?,
+            bytes_written: r.parse(2, "bytes_written")?,
+            files_read: r.parse(3, "files_read")?,
+            files_written: r.parse(4, "files_written")?,
+            io_time_s: r.parse(5, "io_time_s")?,
         })
     }
 }
 
+/// Resolves the [`ColumnMap`] for `R` from an owned header row, or the
+/// standard header-level error if the table has no rows at all.
+fn resolve_owned_header<R: Record>(rows: &[Vec<String>]) -> Result<ColumnMap, SchemaError> {
+    let Some(header) = rows.first() else {
+        return Err(SchemaError {
+            table: R::TABLE,
+            field: "header",
+            value: None,
+            kind: SchemaErrorKind::Header,
+        });
+    };
+    let header: Vec<&str> = header.iter().map(String::as_str).collect();
+    ColumnMap::resolve::<R>(&header)
+}
+
 /// Convenience: decodes a whole table, validating the header row.
+///
+/// The header may be a permutation of [`Record::HEADER`]; the resolved
+/// [`ColumnMap`] routes each declared column to its file position.
 ///
 /// # Errors
 ///
 /// Returns a [`SchemaError`] on a header mismatch or any undecodable row.
 pub fn decode_table<R: Record>(rows: &[Vec<String>]) -> Result<Vec<R>, SchemaError> {
-    let mut iter = rows.iter();
-    match iter.next() {
-        Some(header) if header == R::HEADER => {}
-        _ => {
-            return Err(SchemaError {
-                table: R::TABLE,
-                field: "header",
-                value: rows.first().map(|h| h.join(",")),
-            })
-        }
-    }
-    iter.map(|row| R::decode(row)).collect()
+    let cols = resolve_owned_header::<R>(rows)?;
+    rows[1..]
+        .iter()
+        .map(|r| R::decode_fields(&r.as_slice(), &cols))
+        .collect()
 }
 
 /// Like [`decode_table`], but skips undecodable rows instead of failing:
@@ -298,22 +501,12 @@ pub fn decode_table<R: Record>(rows: &[Vec<String>]) -> Result<Vec<R>, SchemaErr
 pub fn decode_table_counting<R: Record>(
     rows: &[Vec<String>],
 ) -> Result<(Vec<R>, usize, Option<SchemaError>), SchemaError> {
-    let mut iter = rows.iter();
-    match iter.next() {
-        Some(header) if header == R::HEADER => {}
-        _ => {
-            return Err(SchemaError {
-                table: R::TABLE,
-                field: "header",
-                value: rows.first().map(|h| h.join(",")),
-            })
-        }
-    }
+    let cols = resolve_owned_header::<R>(rows)?;
     let mut out = Vec::with_capacity(rows.len().saturating_sub(1));
     let mut rejected = 0usize;
     let mut first_error = None;
-    for row in iter {
-        match R::decode(row) {
+    for row in &rows[1..] {
+        match R::decode_fields(&row.as_slice(), &cols) {
             Ok(rec) => out.push(rec),
             Err(e) => {
                 rejected += 1;
@@ -359,9 +552,13 @@ mod tests {
             component: Component::Mc,
             event_time: Timestamp::from_secs(1_400_000_123),
             location: "R11-M1-N07-J12".parse::<Location>().unwrap(),
-            message: "DDR correctable error threshold exceeded, rank=3, \"bank 2\"".to_owned(),
+            message: "DDR correctable error threshold exceeded, rank=3, \"bank 2\"".into(),
             count: 4,
         }
+    }
+
+    fn header_row<R: Record>() -> Vec<String> {
+        R::HEADER.iter().map(|s| s.to_string()).collect()
     }
 
     #[test]
@@ -411,6 +608,7 @@ mod tests {
         let err = JobRecord::decode(&row).unwrap_err();
         assert_eq!(err.field, "nodes");
         assert_eq!(err.value.as_deref(), Some("not-a-number"));
+        assert_eq!(err.kind, SchemaErrorKind::BadValue);
         assert!(err.to_string().contains("jobs"));
     }
 
@@ -419,15 +617,14 @@ mod tests {
         let short = vec!["1".to_owned()];
         let err = JobRecord::decode(&short).unwrap_err();
         assert!(err.value.is_none());
+        assert_eq!(err.kind, SchemaErrorKind::MissingField);
+        assert!(err.to_string().contains("missing field"));
     }
 
     #[test]
     fn decode_table_checks_header() {
         let j = sample_job();
-        let rows = vec![
-            JobRecord::HEADER.iter().map(|s| s.to_string()).collect(),
-            j.encode(),
-        ];
+        let rows = vec![header_row::<JobRecord>(), j.encode()];
         assert_eq!(decode_table::<JobRecord>(&rows).unwrap(), vec![j]);
 
         let bad = vec![vec!["nope".to_owned()]];
@@ -439,12 +636,7 @@ mod tests {
         let j = sample_job();
         let mut bad_row = j.encode();
         bad_row[4] = "not-a-number".to_owned();
-        let rows = vec![
-            JobRecord::HEADER.iter().map(|s| s.to_string()).collect(),
-            j.encode(),
-            bad_row,
-            j.encode(),
-        ];
+        let rows = vec![header_row::<JobRecord>(), j.encode(), bad_row, j.encode()];
         let (records, rejected, first) = decode_table_counting::<JobRecord>(&rows).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(rejected, 1);
@@ -455,5 +647,73 @@ mod tests {
     fn decode_table_counting_still_rejects_bad_header() {
         let bad = vec![vec!["nope".to_owned()]];
         assert!(decode_table_counting::<JobRecord>(&bad).is_err());
+    }
+
+    // -- ColumnMap --------------------------------------------------------
+
+    #[test]
+    fn column_map_identity_on_exact_header() {
+        let header: Vec<&str> = JobRecord::HEADER.to_vec();
+        let cols = ColumnMap::resolve::<JobRecord>(&header).unwrap();
+        assert!(cols.is_identity());
+        assert_eq!(cols.len(), JobRecord::HEADER.len());
+        assert_eq!(cols.file_index(4), 4);
+    }
+
+    #[test]
+    fn column_map_routes_permuted_headers() {
+        // Reverse the declared order: still the same table, so the
+        // resolved map must route every field home.
+        let mut header: Vec<&str> = TaskRecord::HEADER.to_vec();
+        header.reverse();
+        let cols = ColumnMap::resolve::<TaskRecord>(&header).unwrap();
+        assert!(!cols.is_identity());
+        let last = TaskRecord::HEADER.len() - 1;
+        assert_eq!(cols.file_index(0), last);
+        assert_eq!(cols.file_index(last), 0);
+    }
+
+    #[test]
+    fn decode_table_accepts_permuted_header() {
+        let t = sample_job();
+        let mut header = header_row::<JobRecord>();
+        let mut row = t.encode();
+        header.swap(0, 1);
+        row.swap(0, 1);
+        let rows = vec![header, row];
+        assert_eq!(decode_table::<JobRecord>(&rows).unwrap(), vec![t]);
+    }
+
+    #[test]
+    fn unknown_column_gets_a_distinct_error() {
+        // A header with a name the table does not declare used to fall
+        // through to a "missing field" error via a usize::MAX lookup;
+        // it must be reported as an unknown column.
+        let mut header: Vec<&str> = JobRecord::HEADER.to_vec();
+        header[1] = "userz";
+        let err = ColumnMap::resolve::<JobRecord>(&header).unwrap_err();
+        assert_eq!(err.kind, SchemaErrorKind::UnknownColumn);
+        assert_eq!(err.value.as_deref(), Some("userz"));
+        assert!(err.to_string().contains("unknown column"));
+    }
+
+    #[test]
+    fn duplicate_and_short_headers_are_header_errors() {
+        let mut dup: Vec<&str> = IoRecord::HEADER.to_vec();
+        dup[1] = dup[0];
+        assert_eq!(
+            ColumnMap::resolve::<IoRecord>(&dup).unwrap_err().kind,
+            SchemaErrorKind::Header
+        );
+        let short: Vec<&str> = IoRecord::HEADER[..3].to_vec();
+        assert_eq!(
+            ColumnMap::resolve::<IoRecord>(&short).unwrap_err().kind,
+            SchemaErrorKind::Header
+        );
+        let empty: Vec<Vec<String>> = Vec::new();
+        assert_eq!(
+            decode_table::<IoRecord>(&empty).unwrap_err().kind,
+            SchemaErrorKind::Header
+        );
     }
 }

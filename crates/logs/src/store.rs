@@ -7,8 +7,8 @@ use std::path::Path;
 
 use bgq_model::{IoRecord, JobRecord, RasRecord, TaskRecord};
 
-use crate::csv::{write_record, CsvError, CsvReader};
-use crate::schema::{decode_table, decode_table_counting, Record, SchemaError};
+use crate::csv::{write_record, CsvError, CsvScanner};
+use crate::schema::{ColumnMap, Record, SchemaError, SchemaErrorKind};
 
 /// An in-memory Mira dataset: the four joined log sources.
 ///
@@ -271,38 +271,94 @@ fn save_table<R: Record>(dir: &Path, rows: &[R]) -> Result<(), StoreError> {
     Ok(())
 }
 
-fn load_table<R: Record>(dir: &Path) -> Result<Vec<R>, StoreError> {
+fn open_scanner<R: Record>(dir: &Path) -> Result<CsvScanner<BufReader<File>>, StoreError> {
     let path = table_path(dir, R::TABLE);
     let file = File::open(&path).map_err(|source| StoreError::Io {
         path: path.display().to_string(),
         source,
     })?;
-    let rows = CsvReader::new(BufReader::new(file))
-        .read_all()
-        .map_err(|source| StoreError::Csv {
-            table: R::TABLE,
-            source,
-        })?;
-    Ok(decode_table::<R>(&rows)?)
+    Ok(CsvScanner::new(BufReader::new(file)))
 }
 
+fn wrap_csv<R: Record>(source: CsvError) -> StoreError {
+    StoreError::Csv {
+        table: R::TABLE,
+        source,
+    }
+}
+
+/// The header-level error for a table with no header row at all.
+fn missing_header<R: Record>() -> SchemaError {
+    SchemaError {
+        table: R::TABLE,
+        field: "header",
+        value: None,
+        kind: SchemaErrorKind::Header,
+    }
+}
+
+/// Resolves the [`ColumnMap`] from a scanned header record.
+fn resolve_header<R: Record>(
+    header: crate::csv::RecordView<'_>,
+) -> Result<ColumnMap, SchemaError> {
+    let names: Vec<&str> = header.iter().collect();
+    ColumnMap::resolve::<R>(&names)
+}
+
+/// Streaming strict load: records are decoded as the scanner yields them
+/// (one reused record buffer, no materialized `Vec<Vec<String>>`); the
+/// first malformed line or undecodable row fails the load.
+fn load_table<R: Record>(dir: &Path) -> Result<Vec<R>, StoreError> {
+    let mut scanner = open_scanner::<R>(dir)?;
+    let cols = match scanner.read_record().map_err(wrap_csv::<R>)? {
+        Some(header) => resolve_header::<R>(header)?,
+        None => return Err(missing_header::<R>().into()),
+    };
+    let mut out = Vec::new();
+    while let Some(view) = scanner.read_record().map_err(wrap_csv::<R>)? {
+        out.push(R::decode_fields(&view, &cols)?);
+    }
+    Ok(out)
+}
+
+/// Streaming lenient load: same single-pass scan as [`load_table`], but
+/// damaged rows (structural CSV damage or schema failures) are counted
+/// and skipped. Malformed lines *before* the header are counted as CSV
+/// rejects and the first clean record is taken as the header, matching
+/// the owned two-pass path this replaces.
 fn load_table_counting<R: Record>(
     dir: &Path,
     opts: &LoadOptions,
     report: &mut LoadReport,
 ) -> Result<Vec<R>, StoreError> {
     let path = table_path(dir, R::TABLE);
-    let file = File::open(&path).map_err(|source| StoreError::Io {
-        path: path.display().to_string(),
-        source,
-    })?;
-    let (rows, rejected_csv) = CsvReader::new(BufReader::new(file))
-        .read_all_counting()
-        .map_err(|source| StoreError::Csv {
-            table: R::TABLE,
-            source,
-        })?;
-    let (records, rejected_schema, first_schema_error) = decode_table_counting::<R>(&rows)?;
+    let mut scanner = open_scanner::<R>(dir)?;
+    let mut rejected_csv = 0usize;
+    let cols = loop {
+        match scanner.read_record() {
+            Ok(Some(header)) => break resolve_header::<R>(header)?,
+            Ok(None) => return Err(missing_header::<R>().into()),
+            Err(CsvError::Malformed { .. }) => rejected_csv += 1,
+            Err(e @ CsvError::Io(_)) => return Err(wrap_csv::<R>(e)),
+        }
+    };
+    let mut records = Vec::new();
+    let mut rejected_schema = 0usize;
+    let mut first_schema_error = None;
+    loop {
+        match scanner.read_record() {
+            Ok(Some(view)) => match R::decode_fields(&view, &cols) {
+                Ok(rec) => records.push(rec),
+                Err(e) => {
+                    rejected_schema += 1;
+                    first_schema_error.get_or_insert(e);
+                }
+            },
+            Ok(None) => break,
+            Err(CsvError::Malformed { .. }) => rejected_csv += 1,
+            Err(e @ CsvError::Io(_)) => return Err(wrap_csv::<R>(e)),
+        }
+    }
     let stats = TableLoadStats {
         table: R::TABLE,
         rows: records.len(),
@@ -376,7 +432,7 @@ mod tests {
             component: Component::Cnk,
             event_time: Timestamp::from_secs(t),
             location: "R00-M0".parse::<Location>().unwrap(),
-            message: "informational, nothing to see".to_owned(),
+            message: "informational, nothing to see".into(),
             count: 1,
         }
     }

@@ -42,6 +42,6 @@ pub use io::IoRecord;
 pub use job::{JobRecord, Mode, Queue};
 pub use location::{Granularity, Location};
 pub use machine::Machine;
-pub use ras::{Category, Component, MsgId, RasRecord, Severity};
+pub use ras::{Category, Component, MsgId, MsgText, RasRecord, Severity};
 pub use task::TaskRecord;
 pub use time::{Span, Timestamp};

@@ -289,6 +289,19 @@ impl FromStr for MsgId {
     }
 }
 
+bgq_intern::intern_pool! {
+    /// Interned rendered message text of a RAS record.
+    ///
+    /// The control system renders every event from a small catalog of
+    /// templates, so distinct message texts number in the thousands
+    /// while records number in the millions; each distinct text is
+    /// stored once in a process-wide pool and records carry a `Copy`
+    /// symbol. Symbol equality is string equality (the pool dedups), so
+    /// swapping the owned `String` for [`MsgText`] cannot change any
+    /// comparison-based analysis; ordering compares the resolved text.
+    pub struct MsgText
+}
+
 /// One record of the RAS log.
 ///
 /// Deliberately does **not** carry a job id: attributing events to jobs via
@@ -310,8 +323,8 @@ pub struct RasRecord {
     pub event_time: Timestamp,
     /// Hardware location the event names (any granularity).
     pub location: Location,
-    /// Rendered message text.
-    pub message: String,
+    /// Rendered message text (interned; see [`MsgText`]).
+    pub message: MsgText,
     /// Hardware-deduplicated repeat count (the control system coalesces
     /// identical back-to-back events and bumps this counter).
     pub count: u32,

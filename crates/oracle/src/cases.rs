@@ -10,7 +10,7 @@
 
 use bgq_model::ids::{JobId, ProjectId, RecId, UserId};
 use bgq_model::job::{Mode, Queue};
-use bgq_model::ras::{Category, Component, MsgId};
+use bgq_model::ras::{Category, Component, MsgId, MsgText};
 use bgq_model::{Block, JobRecord, Location, Machine, RasRecord, Severity, Timestamp};
 
 /// SplitMix64: tiny, seedable, and good enough for case generation.
@@ -98,7 +98,7 @@ pub fn test_event(id: u64, t: i64, block: Block, severity: Severity) -> RasRecor
         component: Component::Mc,
         event_time: Timestamp::from_secs(t),
         location: Location::midplane(rack, midplane),
-        message: String::new(),
+        message: MsgText::default(),
         count: 1,
     }
 }

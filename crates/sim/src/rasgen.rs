@@ -65,7 +65,7 @@ fn record(
         component: entry.component,
         event_time: time,
         location,
-        message: entry.template.replace("{}", &payload.to_string()),
+        message: entry.template.replace("{}", &payload.to_string()).into(),
         count,
     }
 }

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# BENCH_ingest: measures the streaming scanner + interned decode path
+# against the owned read_all + decode_table baseline on the standard
+# 30-day dataset, via the `ingest` criterion bench.
+#
+# Writes BENCH_ingest.json with the medians and speedups for the three
+# layers (scan, decode, full load) and fails when the streaming path is
+# slower than the owned path beyond the tolerance (default 10%, i.e. a
+# minimum speedup of 0.9×). The committed JSON should show well above
+# that — the point of the rewrite is a ≥2× full-load speedup.
+#
+# Knobs: BENCH_INGEST_MIN_SPEEDUP (default 0.9), BGQ_BENCH_FAST=1 for a
+# single-sample smoke run in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${BENCH_INGEST_MIN_SPEEDUP:-0.9}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running ingest bench ..."
+cargo bench -q -p bgq-bench --bench ingest 2>&1 | tee "$RAW"
+
+python3 - "$RAW" "$MIN_SPEEDUP" <<'PY'
+import json
+import re
+import sys
+
+raw_path, min_speedup = sys.argv[1], float(sys.argv[2])
+
+UNIT_NS = {"ns": 1.0, "µs": 1e3, "us": 1e3, "ms": 1e6, "s": 1e9}
+line_re = re.compile(
+    r"^(\S+)\s+time:\s+\[\S+ (?:ns|µs|us|ms|s) ([0-9.]+) (ns|µs|us|ms|s) "
+    r"\S+ (?:ns|µs|us|ms|s)\]"
+)
+
+medians_ms = {}
+with open(raw_path, encoding="utf-8") as f:
+    for line in f:
+        m = line_re.match(line.strip())
+        if m:
+            name, value, unit = m.group(1), float(m.group(2)), m.group(3)
+            medians_ms[name] = value * UNIT_NS[unit] / 1e6
+
+layers = {}
+for layer in ("ingest_scan", "ingest_decode", "ingest_load"):
+    owned = medians_ms.get(f"{layer}/owned")
+    streaming = medians_ms.get(f"{layer}/streaming")
+    if owned is None or streaming is None:
+        sys.exit(f"bench output missing {layer} owned/streaming lines")
+    layers[layer] = {
+        "owned_median_ms": round(owned, 3),
+        "streaming_median_ms": round(streaming, 3),
+        "speedup": round(owned / streaming, 3),
+    }
+if "ingest_load/streaming_lenient" in medians_ms:
+    layers["ingest_load"]["streaming_lenient_median_ms"] = round(
+        medians_ms["ingest_load/streaming_lenient"], 3
+    )
+
+result = {
+    "bench": "BENCH_ingest",
+    "workload": "30-day simulated dataset (SimConfig::small(30), seed 5)",
+    "min_speedup": min_speedup,
+    **layers,
+}
+with open("BENCH_ingest.json", "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(json.dumps(result, indent=2))
+
+slow = [k for k, v in layers.items() if v["speedup"] < min_speedup]
+if slow:
+    sys.exit(f"streaming slower than owned beyond tolerance in: {', '.join(slow)}")
+PY

@@ -12,6 +12,7 @@
 //! | `IntervalIndex` stab / overlap          | full scan per query                   | bit-exact  |
 //! | `attribute_events` (indexed join)       | quadratic scan join                   | bit-exact  |
 //! | `utilization_series` (interval clip)    | per-second stepping                   | bit-exact  |
+//! | streaming interned `Dataset` load       | original in-memory records            | bit-exact  |
 //!
 //! Random cases come from the vendored proptest harness (so failures
 //! shrink to minimal draw streams); the `#[ignore]`d corpus test replays
@@ -24,6 +25,7 @@
 use bgq_core::queueing::utilization_series;
 use bgq_logs::interval::IntervalIndex;
 use bgq_logs::join::attribute_events;
+use bgq_logs::store::{Dataset, LoadOptions};
 use bgq_model::{Machine, Severity, Span, Timestamp};
 use bgq_oracle::cases::{self, AdversarialCase};
 use bgq_oracle::{binning, join as refjoin, ranking, stabbing, utilization};
@@ -186,6 +188,59 @@ fn check_join(case: &AdversarialCase) {
     }
 }
 
+/// Cross-checks the interned streaming ingestion against the in-memory
+/// records: the case's jobs and events (given distinctive, comma-bearing
+/// message texts so interning actually works) are saved and re-loaded
+/// through both streaming paths, and `attribute_events` over the
+/// round-tripped interned records must produce the exact pairs the
+/// quadratic string-keyed reference produces over the originals.
+fn check_interned_roundtrip(case: &AdversarialCase, dir: &std::path::Path) {
+    let mut ds = Dataset::new();
+    ds.jobs = case.jobs.clone();
+    ds.ras = case
+        .events
+        .iter()
+        .cloned()
+        .map(|mut r| {
+            r.message = format!(
+                "seed {}, rec {}: \"payload\" at {}",
+                case.seed,
+                r.rec_id.raw(),
+                r.location
+            )
+            .into();
+            r
+        })
+        .collect();
+    ds.save_dir(dir).expect("save corpus case");
+    let strict = Dataset::load_dir(dir).expect("strict load");
+    assert_eq!(
+        strict, ds,
+        "strict streaming round-trip diverged (seed {})",
+        case.seed
+    );
+    let (lenient, report) = Dataset::load_dir_with(dir, &LoadOptions::default()).expect("lenient");
+    assert_eq!(
+        lenient, ds,
+        "lenient streaming round-trip diverged (seed {})",
+        case.seed
+    );
+    assert_eq!(report.total_rejected(), 0, "clean data rejected rows (seed {})", case.seed);
+    for severity in Severity::ALL {
+        let got: Vec<(usize, usize)> = attribute_events(&lenient.jobs, &lenient.ras, severity)
+            .pairs
+            .iter()
+            .map(|a| (a.event_idx, a.job_idx))
+            .collect();
+        let want = refjoin::scan_join(&case.jobs, &case.events, severity);
+        assert_eq!(
+            got, want,
+            "join over interned round-trip diverged at {severity:?} (seed {})",
+            case.seed
+        );
+    }
+}
+
 fn check_utilization(case: &AdversarialCase) {
     let got = utilization_series(&case.jobs, &Machine::MIRA, 1);
     let want = utilization::utilization_by_seconds(&case.jobs, &Machine::MIRA, 1);
@@ -300,6 +355,7 @@ proptest! {
 #[test]
 #[ignore = "fixed-seed corpus; run explicitly (CI does, in release)"]
 fn fixed_seed_adversarial_corpus() {
+    let base = std::env::temp_dir().join(format!("bgq-oracle-roundtrip-{}", std::process::id()));
     for seed in 0..64u64 {
         let case = cases::generate(seed);
         check_all_layouts(&case.samples);
@@ -312,5 +368,7 @@ fn fixed_seed_adversarial_corpus() {
         }
         check_join(&case);
         check_utilization(&case);
+        check_interned_roundtrip(&case, &base.join(seed.to_string()));
     }
+    let _ = std::fs::remove_dir_all(&base);
 }
