@@ -67,6 +67,7 @@ fn analysis_preindex(ds: &Dataset) -> Analysis {
             waits_by_size: waits_by_size(&ds.jobs),
             waits_by_queue: waits_by_queue(&ds.jobs),
             mean_utilization: mean_utilization(&ds.jobs, &bgq_model::Machine::MIRA),
+            degraded: Vec::new(),
         }
     })
 }

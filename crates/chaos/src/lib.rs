@@ -1,0 +1,35 @@
+//! Deterministic fault injection for the ingestion pipeline.
+//!
+//! Two attack surfaces, both seeded and fully replayable:
+//!
+//! * [`corrupt`] — a byte-level corruption engine over an on-disk
+//!   dataset. Every [`CorruptionMode`](corrupt::CorruptionMode) predicts
+//!   its own outcome exactly: the returned
+//!   [`TableLedger`](corrupt::TableLedger) records the fate of every
+//!   original row (kept, removed, rejected at the CSV layer, rejected at
+//!   the schema layer, or time-shifted), so tests can assert the
+//!   pipeline's reject accounting *to the row* rather than "roughly
+//!   survived".
+//! * [`fault`] — `io::Error`-injecting wrappers: [`FaultRead`](fault::FaultRead)
+//!   fails a reader at a byte offset, [`FaultDir`](fault::FaultDir)
+//!   implements [`bgq_logs::store::TableSource`] with a per-table fault
+//!   schedule (transient faults clear after N opens; permanent ones
+//!   never do), exercising the store's retry and quarantine paths.
+//!
+//! The crate is deliberately zero-dependency beyond `bgq-logs` (for the
+//! `TableSource` trait): determinism comes from a local SplitMix64, not
+//! an external RNG, so a failing corpus seed replays bit-identically
+//! anywhere.
+
+#![warn(missing_docs)]
+
+pub mod corrupt;
+pub mod fault;
+pub mod rng;
+
+pub use corrupt::{
+    corrupt_table, plan_for_seed, ChaosLedger, CorruptionMode, RowFate, TableLedger, ALL_MODES,
+    TABLES,
+};
+pub use fault::{FaultDir, FaultRead, FaultSpec};
+pub use rng::SplitMix64;

@@ -1,0 +1,123 @@
+//! The injector's deterministic randomness: SplitMix64.
+//!
+//! Chosen over the vendored `rand` stub for the same reason the oracle
+//! harness carries its own: a corruption plan must replay bit-identically
+//! from a seed forever, so the generator is part of the crate's contract,
+//! not an implementation detail another crate may change.
+
+/// Sebastiano Vigna's SplitMix64: tiny, full-period, and statistically
+/// good enough to pick victims with.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n` must be nonzero).
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) has no valid output");
+        // Multiply-shift reduction; the tiny modulo bias is irrelevant
+        // for picking corruption victims.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi);
+        let span = (hi - lo) as u64 + 1;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// `k` distinct indices from `0..n`, ascending.
+    pub fn distinct(&mut self, k: usize, n: usize) -> Vec<usize> {
+        assert!(k <= n);
+        // Floyd's algorithm keeps this O(k) even for large n.
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (n - k)..n {
+            let t = self.below(j + 1);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        chosen.into_iter().collect()
+    }
+
+    /// A Fisher–Yates permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut p: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            p.swap(i, self.below(i + 1));
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(13) < 13);
+        }
+    }
+
+    #[test]
+    fn distinct_yields_sorted_unique_indices() {
+        let mut rng = SplitMix64::new(9);
+        let picks = rng.distinct(5, 20);
+        assert_eq!(picks.len(), 5);
+        for w in picks.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(picks.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = SplitMix64::new(3);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_i64_hits_bounds() {
+        let mut rng = SplitMix64::new(11);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            let v = rng.range_i64(-2, 2);
+            assert!((-2..=2).contains(&v));
+            saw_lo |= v == -2;
+            saw_hi |= v == 2;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+}

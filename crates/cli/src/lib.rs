@@ -11,7 +11,7 @@ use bgq_core::filtering::FilterConfig;
 use bgq_core::index::DatasetIndex;
 use bgq_core::report::{group_thousands, percent, Align, Table};
 use bgq_core::takeaways::takeaways;
-use bgq_logs::store::{Dataset, LoadOptions};
+use bgq_logs::store::{Dataset, LoadOptions, SourceAvailability};
 use bgq_model::{Severity, Span};
 use bgq_obs::manifest::RunManifest;
 use bgq_sim::{generate, SimConfig};
@@ -64,6 +64,10 @@ GLOBAL FLAGS (valid before or after any command):
   --max-reject-ratio R   load datasets leniently: skip damaged CSV rows and
                          fail only when a table's reject ratio exceeds R
                          (e.g. 0.01); without it, any damaged row is fatal
+  --degraded             keep going when a table is missing or too damaged:
+                         quarantine it, analyze what loaded, and prefix the
+                         output with DEGRADED markers naming the lost tables
+                         and the analysis stages they feed
 
 USAGE:
   mira-mine gen --out DIR [--days N] [--seed S] [--full]
@@ -136,6 +140,7 @@ struct GlobalOpts {
     trace: Option<TraceFormat>,
     metrics: Option<PathBuf>,
     max_reject_ratio: Option<f64>,
+    degraded: bool,
 }
 
 /// Separates the global flags from the command-specific arguments.
@@ -146,6 +151,7 @@ fn split_global_flags(args: &[String]) -> Result<(Vec<String>, GlobalOpts), CliE
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--quiet" => opts.quiet = true,
+            "--degraded" => opts.degraded = true,
             "--trace" | "--trace=tree" => opts.trace = Some(TraceFormat::Tree),
             "--trace=json" => opts.trace = Some(TraceFormat::Json),
             "--metrics" => match iter.next() {
@@ -310,29 +316,62 @@ fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a String
     None
 }
 
-fn load(args: &[String], opts: &GlobalOpts) -> Result<Dataset, CliError> {
+fn load(args: &[String], opts: &GlobalOpts) -> Result<(Dataset, SourceAvailability), CliError> {
     let dir = positional(args, &["--gap-mins", "--window-hours", "--window-days"])
         .ok_or_else(|| CliError::Usage("missing dataset directory".into()))?;
     load_dataset(Path::new(dir), opts)
 }
 
-/// Loads a dataset strictly, or leniently when `--max-reject-ratio` was
+/// Loads a dataset strictly, leniently when `--max-reject-ratio` was
 /// given (damaged rows are skipped and counted; the per-table totals land
-/// in the run manifest via the store's counters).
-fn load_dataset(dir: &Path, opts: &GlobalOpts) -> Result<Dataset, CliError> {
-    match opts.max_reject_ratio {
-        Some(max_reject_ratio) => {
-            let (ds, _report) = Dataset::load_dir_with(dir, &LoadOptions { max_reject_ratio })?;
-            Ok(ds)
-        }
-        None => Ok(Dataset::load_dir(dir)?),
+/// in the run manifest via the store's counters), or resiliently when
+/// `--degraded` was given (a missing or over-damaged table is quarantined
+/// and reported via the returned [`SourceAvailability`] instead of
+/// failing the run).
+fn load_dataset(dir: &Path, opts: &GlobalOpts) -> Result<(Dataset, SourceAvailability), CliError> {
+    if opts.degraded || opts.max_reject_ratio.is_some() {
+        let load_opts = LoadOptions {
+            max_reject_ratio: opts
+                .max_reject_ratio
+                .unwrap_or(LoadOptions::default().max_reject_ratio),
+            degraded: opts.degraded,
+            ..LoadOptions::default()
+        };
+        let (ds, report) = Dataset::load_dir_with(dir, &load_opts)?;
+        Ok((ds, report.availability()))
+    } else {
+        Ok((Dataset::load_dir(dir)?, SourceAvailability::ALL))
+    }
+}
+
+/// A `DEGRADED:` banner naming quarantined tables, or empty when the
+/// load was complete.
+fn degraded_banner(avail: &SourceAvailability) -> String {
+    if avail.is_complete() {
+        String::new()
+    } else {
+        format!(
+            "DEGRADED: table(s) unavailable: {} — results cover the surviving records only\n\n",
+            avail.missing().join(", ")
+        )
     }
 }
 
 fn cmd_analyze(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let ds = load(args, opts)?;
-    let a = Analysis::run(&ds);
+    let (ds, avail) = load(args, opts)?;
+    let a = Analysis::run_degraded(&ds, &avail);
     let mut out = String::new();
+    if !a.degraded.is_empty() {
+        out.push_str(&format!(
+            "DEGRADED: table(s) unavailable: {}; affected stages: {}\n\n",
+            avail.missing().join(", "),
+            a.degraded
+                .iter()
+                .map(|d| d.stage)
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
 
     if let Some(t) = &a.totals {
         out.push_str(&format!(
@@ -344,7 +383,8 @@ fn cmd_analyze(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
             t.projects
         ));
     } else {
-        return Ok("trace is empty\n".to_owned());
+        out.push_str("trace is empty\n");
+        return Ok(out);
     }
 
     let mut classes = Table::new(
@@ -419,9 +459,10 @@ fn cmd_analyze(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
 }
 
 fn cmd_report(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let ds = load(args, opts)?;
-    let a = Analysis::run(&ds);
-    let mut out = String::from("The 22 takeaways, re-derived from this trace:\n\n");
+    let (ds, avail) = load(args, opts)?;
+    let a = Analysis::run_degraded(&ds, &avail);
+    let mut out = degraded_banner(&avail);
+    out.push_str("The 22 takeaways, re-derived from this trace:\n\n");
     for t in takeaways(&a) {
         out.push_str(&format!("[T{:02}] {}\n", t.id, t.statement));
     }
@@ -429,7 +470,7 @@ fn cmd_report(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
 }
 
 fn cmd_filter(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let ds = load(args, opts)?;
+    let (ds, avail) = load(args, opts)?;
     let mut config = FilterConfig::default();
     if let Some(gap) = parse_num::<i64>(args, "--gap-mins")? {
         config.temporal_gap = Span::from_mins(gap);
@@ -464,11 +505,11 @@ fn cmd_filter(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
         outcome.after_similarity.to_string(),
         fmt_mtbf(outcome.after_similarity),
     ]);
-    Ok(table.render())
+    Ok(degraded_banner(&avail) + &table.render())
 }
 
 fn cmd_lifetime(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let ds = load(args, opts)?;
+    let (ds, avail) = load(args, opts)?;
     let window: u32 = parse_num(args, "--window-days")?.unwrap_or(90);
     if window == 0 {
         return Err(CliError::Usage("--window-days must be positive".into()));
@@ -493,7 +534,7 @@ fn cmd_lifetime(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> 
             group_thousands(w.fatal_records as u64),
         ]);
     }
-    let mut out = table.render();
+    let mut out = degraded_banner(&avail) + &table.render();
     if let Some(r) = series.early_to_late_fatal_ratio {
         out.push_str(&format!(
             "\nearly-to-late fatal-record ratio: {r:.2} (> 1 means reliability improved)\n"
@@ -505,7 +546,7 @@ fn cmd_lifetime(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> 
 fn cmd_predict(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     use bgq_core::filtering::{filter_events, FilterConfig};
     use bgq_core::prediction::{predict_and_evaluate, PredictorConfig};
-    let ds = load(args, opts)?;
+    let (ds, avail) = load(args, opts)?;
     let incidents = filter_events(&ds.ras, &FilterConfig::default()).incidents;
     let report = predict_and_evaluate(&ds.ras, &incidents, &PredictorConfig::default());
     let mut table = Table::new(
@@ -537,7 +578,7 @@ fn cmd_predict(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
             .map(|s| format!("{:.0} min", s / 60.0))
             .unwrap_or_else(|| "n/a".into()),
     ]);
-    Ok(table.render())
+    Ok(degraded_banner(&avail) + &table.render())
 }
 
 /// A cheap, stable identity for "the dataset this run analyzed": record
@@ -568,10 +609,14 @@ fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     let dir = positional(args, &["--days", "--seed"]);
 
     let before = bgq_obs::snapshot();
-    let (ds, source) = match dir {
-        Some(d) => (load_dataset(Path::new(d), opts)?, d.clone()),
+    let (ds, avail, source) = match dir {
+        Some(d) => {
+            let (ds, avail) = load_dataset(Path::new(d), opts)?;
+            (ds, avail, d.clone())
+        }
         None => (
             generate(&SimConfig::small(days).with_seed(seed)).dataset,
+            SourceAvailability::ALL,
             format!("simulated ({days} days, seed {seed})"),
         ),
     };
@@ -587,7 +632,8 @@ fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     let _ = bgq_core::ras_analysis::affected_jobs_indexed(&idx, Severity::Warn);
     let delta = bgq_obs::snapshot().since(&before);
 
-    let mut out = format!(
+    let mut out = degraded_banner(&avail);
+    out += &format!(
         "profiled {} — {} jobs, {} RAS events (fingerprint {fingerprint:016x})\n\n",
         source,
         group_thousands(ds.jobs.len() as u64),
@@ -786,6 +832,63 @@ mod tests {
             assert!(!out.contains("stages ("), "{out}");
             assert!(!out.contains("features: obs"), "{out}");
         }
+    }
+
+    #[test]
+    fn global_flags_parse_in_any_position() {
+        let (rest, opts) = split_global_flags(&s(&["analyze", "--degraded", "--quiet", "/d"])).unwrap();
+        assert!(opts.degraded && opts.quiet);
+        assert!(opts.trace.is_none() && opts.metrics.is_none());
+        assert_eq!(rest, vec!["analyze".to_owned(), "/d".to_owned()]);
+
+        let (rest, opts) = split_global_flags(&s(&[
+            "--max-reject-ratio",
+            "0.25",
+            "--trace=json",
+            "report",
+            "/d",
+        ]))
+        .unwrap();
+        assert_eq!(opts.max_reject_ratio, Some(0.25));
+        assert_eq!(opts.trace, Some(TraceFormat::Json));
+        assert!(!opts.degraded && !opts.quiet);
+        assert_eq!(rest, vec!["report".to_owned(), "/d".to_owned()]);
+
+        let (rest, opts) =
+            split_global_flags(&s(&["--metrics", "/tmp/m.json", "--trace", "profile"])).unwrap();
+        assert_eq!(opts.metrics.as_deref(), Some(Path::new("/tmp/m.json")));
+        assert_eq!(opts.trace, Some(TraceFormat::Tree));
+        assert_eq!(rest, vec!["profile".to_owned()]);
+    }
+
+    #[test]
+    fn degraded_flag_survives_a_deleted_table() {
+        let dir = temp_dir("degraded");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        run(&s(&["gen", "--out", &dir_str, "--days", "6", "--seed", "9"])).unwrap();
+        std::fs::remove_file(dir.join("ras.csv")).unwrap();
+
+        // Strict and merely-lenient loads still fail on a missing table.
+        let err = run(&s(&["analyze", &dir_str])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+        let err = run(&s(&["--max-reject-ratio", "0.5", "analyze", &dir_str])).unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+
+        // --degraded quarantines the table and flags what it feeds.
+        let out = run(&s(&["--quiet", "--degraded", "analyze", &dir_str])).unwrap();
+        assert!(out.contains("DEGRADED: table(s) unavailable: ras"), "{out}");
+        assert!(out.contains("affected stages:"), "{out}");
+        assert!(out.contains("exit classes"), "{out}");
+
+        let report = run(&s(&["--quiet", "--degraded", "report", &dir_str])).unwrap();
+        assert!(report.starts_with("DEGRADED"), "{report}");
+        assert!(report.contains("[T01]"), "{report}");
+
+        let filter = run(&s(&["--quiet", "--degraded", "filter", &dir_str])).unwrap();
+        assert!(filter.starts_with("DEGRADED"), "{filter}");
+        assert!(filter.contains("raw FATAL"), "{filter}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The one-call facade: run every analysis of the paper over a dataset.
 
-use bgq_logs::store::Dataset;
+use bgq_logs::store::{Dataset, SourceAvailability};
 use bgq_model::ras::Severity;
 
 use crate::failure_rates::{by_consumed_core_hours, by_core_hours, by_scale, by_tasks, RateCurve};
@@ -22,6 +22,77 @@ use crate::ras_analysis::{breakdown, user_event_correlation_indexed, RasBreakdow
 
 /// Minimum failed jobs in an exit class before the class is fitted.
 pub const MIN_FIT_SAMPLES: usize = 30;
+
+/// Which log sources each [`Analysis`] stage (result field) consumes.
+///
+/// This is the contract behind degraded-mode reporting: when a source
+/// was quarantined at load time, every stage listed against it gets an
+/// explicit [`DegradedStage`] marker instead of silently reporting
+/// zeros. The `tasks` table appears nowhere — no current stage reads
+/// it (`rate_by_tasks` uses the per-job `num_tasks` field), so losing
+/// it degrades nothing.
+pub const STAGE_SOURCES: &[(&str, &[&str])] = &[
+    ("totals", &["jobs"]),
+    ("size_mix", &["jobs"]),
+    ("per_user", &["jobs"]),
+    ("per_project", &["jobs"]),
+    ("class_breakdown", &["jobs"]),
+    ("user_caused_share", &["jobs"]),
+    ("rate_by_scale", &["jobs"]),
+    ("rate_by_tasks", &["jobs"]),
+    ("rate_by_core_hours", &["jobs"]),
+    ("rate_by_consumed_core_hours", &["jobs"]),
+    ("class_fits", &["jobs"]),
+    ("ras", &["ras"]),
+    ("user_events", &["jobs", "ras"]),
+    ("locality_boards", &["jobs", "ras"]),
+    ("locality_racks", &["jobs", "ras"]),
+    ("filter", &["jobs", "ras"]),
+    ("interruptions", &["jobs", "ras"]),
+    ("submissions_profile", &["jobs"]),
+    ("failures_profile", &["jobs"]),
+    ("interval_fit", &["jobs", "ras"]),
+    ("io", &["jobs", "io"]),
+    ("lifetime", &["jobs", "ras"]),
+    ("prediction", &["jobs", "ras"]),
+    ("waits_by_size", &["jobs"]),
+    ("waits_by_queue", &["jobs"]),
+    ("mean_utilization", &["jobs"]),
+];
+
+/// A stage whose inputs were partly unavailable: its result is computed
+/// over what survived, but must not be read as a statement about the
+/// full trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedStage {
+    /// The [`Analysis`] field name (see [`STAGE_SOURCES`]).
+    pub stage: &'static str,
+    /// The quarantined sources the stage would have consumed.
+    pub missing: Vec<&'static str>,
+}
+
+impl std::fmt::Display for DegradedStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (missing: {})", self.stage, self.missing.join(", "))
+    }
+}
+
+/// The stages degraded by the given availability, in [`STAGE_SOURCES`]
+/// order. Empty when every source is present.
+#[must_use]
+pub fn degraded_stages(avail: &SourceAvailability) -> Vec<DegradedStage> {
+    STAGE_SOURCES
+        .iter()
+        .filter_map(|&(stage, sources)| {
+            let missing: Vec<&'static str> = sources
+                .iter()
+                .copied()
+                .filter(|s| !avail.available(s))
+                .collect();
+            (!missing.is_empty()).then_some(DegradedStage { stage, missing })
+        })
+        .collect()
+}
 
 /// Everything the paper computes, in one struct.
 ///
@@ -90,6 +161,10 @@ pub struct Analysis {
     pub waits_by_queue: Vec<WaitRow>,
     /// E17: mean machine utilization over the trace.
     pub mean_utilization: Option<f64>,
+    /// Stages whose inputs were quarantined at load time (empty for a
+    /// complete dataset). Populated by [`Analysis::run_degraded`]; the
+    /// plain entry points assume all sources present.
+    pub degraded: Vec<DegradedStage>,
 }
 
 impl Analysis {
@@ -97,6 +172,25 @@ impl Analysis {
     #[must_use]
     pub fn run(ds: &Dataset) -> Self {
         Analysis::run_with(ds, &FilterConfig::default())
+    }
+
+    /// Runs every analysis over a possibly partial dataset, marking each
+    /// stage whose sources were quarantined at load time with an
+    /// explicit [`DegradedStage`] entry (and an `analysis.degraded` obs
+    /// counter per stage) instead of letting its zeros masquerade as
+    /// measurements.
+    ///
+    /// Every stage still runs — a degraded stage's result covers the
+    /// records that survived, which is the honest best-effort answer;
+    /// the marker is what keeps it from being read as the full trace.
+    #[must_use]
+    pub fn run_degraded(ds: &Dataset, avail: &SourceAvailability) -> Self {
+        let mut a = Analysis::run(ds);
+        a.degraded = degraded_stages(avail);
+        for d in &a.degraded {
+            bgq_obs::add_labeled("analysis.degraded", d.stage, 1);
+        }
+        a
     }
 
     /// Runs every analysis with an explicit filter configuration.
@@ -235,6 +329,7 @@ impl Analysis {
             waits_by_size: waits_by_size_v,
             waits_by_queue: waits_by_queue_v,
             mean_utilization: mean_utilization_v,
+            degraded: Vec::new(),
         }
     }
 }
@@ -266,5 +361,70 @@ mod tests {
         assert!(a.class_fits.is_empty());
         assert_eq!(a.filter.raw_fatal, 0);
         assert!(a.interval_fit.is_none());
+        assert!(a.degraded.is_empty());
+    }
+
+    #[test]
+    fn stage_sources_cover_every_analysis_field() {
+        // Every result field of Analysis must have a dependency entry,
+        // so a new stage cannot silently dodge degraded accounting.
+        // `degraded` itself is bookkeeping, not a stage.
+        let a = Analysis::run(&Dataset::new());
+        let debug = format!("{a:?}");
+        for &(stage, sources) in STAGE_SOURCES {
+            assert!(
+                debug.contains(stage),
+                "STAGE_SOURCES entry {stage} is not an Analysis field"
+            );
+            assert!(!sources.is_empty());
+            for s in sources {
+                assert!(
+                    matches!(*s, "jobs" | "ras" | "tasks" | "io"),
+                    "unknown source {s} for stage {stage}"
+                );
+            }
+        }
+        // Field count: 26 stages + the degraded marker itself.
+        assert_eq!(STAGE_SOURCES.len(), 26);
+    }
+
+    #[test]
+    fn run_degraded_marks_ras_consumers_when_ras_is_missing() {
+        let out = generate(&SimConfig::small(5).with_seed(2));
+        let mut ds = out.dataset;
+        ds.ras.clear();
+        let avail = SourceAvailability {
+            ras: false,
+            ..SourceAvailability::ALL
+        };
+        let a = Analysis::run_degraded(&ds, &avail);
+        let stages: Vec<&str> = a.degraded.iter().map(|d| d.stage).collect();
+        assert!(stages.contains(&"ras"));
+        assert!(stages.contains(&"filter"));
+        assert!(stages.contains(&"prediction"));
+        assert!(!stages.contains(&"totals"), "jobs-only stages are intact");
+        for d in &a.degraded {
+            assert_eq!(d.missing, vec!["ras"]);
+        }
+        // Jobs-side results are still computed over what survived.
+        assert!(a.totals.is_some());
+    }
+
+    #[test]
+    fn run_degraded_with_complete_sources_is_clean() {
+        let out = generate(&SimConfig::small(5).with_seed(2));
+        let a = Analysis::run_degraded(&out.dataset, &SourceAvailability::ALL);
+        assert!(a.degraded.is_empty());
+    }
+
+    #[test]
+    fn missing_tasks_degrades_nothing() {
+        // No analysis stage reads the tasks table; losing it must not
+        // flag anything.
+        let avail = SourceAvailability {
+            tasks: false,
+            ..SourceAvailability::ALL
+        };
+        assert!(degraded_stages(&avail).is_empty());
     }
 }

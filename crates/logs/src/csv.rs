@@ -181,15 +181,20 @@ impl ExactSizeIterator for Fields<'_> {}
 
 /// A streaming, zero-allocation CSV scanner over any [`BufRead`].
 ///
-/// The raw record text and the unescaped field bytes live in two buffers
+/// The raw record bytes and the unescaped field text live in two buffers
 /// owned by the scanner and reused across records, so a full-file scan
 /// allocates only while a buffer grows to the longest record seen.
+///
+/// The scan is byte-level: records are assembled with `read_until` and
+/// validated as UTF-8 only once complete, so bit rot that corrupts a
+/// record's encoding is a per-record [`CsvError::Malformed`] reject —
+/// the rest of the file still loads — rather than a fatal I/O error.
 #[derive(Debug)]
 pub struct CsvScanner<R> {
     inner: R,
     line: usize,
-    /// Raw record text as read (may span lines for quoted newlines).
-    raw: String,
+    /// Raw record bytes as read (may span lines for quoted newlines).
+    raw: Vec<u8>,
     /// Unescaped field bytes of the current record, concatenated.
     data: String,
     /// Exclusive end offset of each field within `data`.
@@ -198,13 +203,16 @@ pub struct CsvScanner<R> {
     at_start: bool,
 }
 
+/// The UTF-8 encoding of U+FEFF, the byte-order mark.
+const BOM: &[u8] = b"\xef\xbb\xbf";
+
 impl<R: BufRead> CsvScanner<R> {
     /// Wraps a buffered reader.
     pub fn new(inner: R) -> Self {
         CsvScanner {
             inner,
             line: 0,
-            raw: String::new(),
+            raw: Vec::new(),
             data: String::new(),
             ends: Vec::new(),
             at_start: true,
@@ -216,10 +224,10 @@ impl<R: BufRead> CsvScanner<R> {
     ///
     /// # Errors
     ///
-    /// Returns [`CsvError::Malformed`] on an unterminated quote or
-    /// garbage after a closing quote (the offending text is consumed, so
-    /// a lenient caller can continue with the next record) and
-    /// [`CsvError::Io`] on read failures.
+    /// Returns [`CsvError::Malformed`] on an unterminated quote, garbage
+    /// after a closing quote, or a record that is not valid UTF-8 (the
+    /// offending bytes are consumed, so a lenient caller can continue
+    /// with the next record) and [`CsvError::Io`] on read failures.
     pub fn read_record(&mut self) -> Result<Option<RecordView<'_>>, CsvError> {
         loop {
             self.raw.clear();
@@ -227,7 +235,7 @@ impl<R: BufRead> CsvScanner<R> {
             let mut quotes = 0usize;
             loop {
                 let before = self.raw.len();
-                let n = self.inner.read_line(&mut self.raw)?;
+                let n = self.inner.read_until(b'\n', &mut self.raw)?;
                 if n == 0 {
                     if self.raw.is_empty() {
                         return Ok(None);
@@ -244,8 +252,8 @@ impl<R: BufRead> CsvScanner<R> {
                 self.line += 1;
                 if self.at_start {
                     self.at_start = false;
-                    if self.raw.starts_with('\u{feff}') {
-                        self.raw.drain(..'\u{feff}'.len_utf8());
+                    if self.raw.starts_with(BOM) {
+                        self.raw.drain(..BOM.len());
                     }
                 }
                 quotes += count_quotes(&self.raw[before..]);
@@ -255,13 +263,22 @@ impl<R: BufRead> CsvScanner<R> {
                 }
             }
             // Strip the record terminator.
-            while self.raw.ends_with('\n') || self.raw.ends_with('\r') {
+            while self.raw.last() == Some(&b'\n') || self.raw.last() == Some(&b'\r') {
                 self.raw.pop();
             }
             if self.raw.is_empty() {
                 continue; // blank line between records
             }
-            parse_record(&self.raw, start_line, &mut self.data, &mut self.ends)?;
+            // The record is fully consumed either way, so on invalid
+            // UTF-8 the scanner is already positioned at the next record
+            // and a lenient caller just counts the reject and moves on.
+            let Ok(raw) = std::str::from_utf8(&self.raw) else {
+                return Err(CsvError::Malformed {
+                    line: start_line,
+                    reason: "record is not valid utf-8",
+                });
+            };
+            parse_record(raw, start_line, &mut self.data, &mut self.ends)?;
             return Ok(Some(RecordView {
                 data: &self.data,
                 ends: &self.ends,
@@ -335,8 +352,8 @@ impl<R: BufRead> CsvReader<R> {
     }
 }
 
-fn count_quotes(s: &str) -> usize {
-    s.bytes().filter(|&b| b == b'"').count()
+fn count_quotes(s: &[u8]) -> usize {
+    s.iter().filter(|&&b| b == b'"').count()
 }
 
 /// Parses one raw record (terminator already stripped) into the reused
@@ -636,6 +653,47 @@ mod tests {
         assert_eq!(
             scanner.read_record().unwrap().unwrap().to_vec(),
             vec!["good", "row"]
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_rejects_only_the_damaged_record() {
+        // Bit rot in record 2 (0x80 is never a valid UTF-8 lead byte);
+        // records 1 and 3 must survive and the scanner must stay at a
+        // record boundary after the reject.
+        let text = b"good,row\nbit\x80rot,here\nstill,fine\n";
+        let mut scanner = CsvScanner::new(BufReader::new(&text[..]));
+        assert_eq!(
+            scanner.read_record().unwrap().unwrap().to_vec(),
+            vec!["good", "row"]
+        );
+        match scanner.read_record() {
+            Err(CsvError::Malformed { line, reason }) => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("utf-8"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        assert_eq!(
+            scanner.read_record().unwrap().unwrap().to_vec(),
+            vec!["still", "fine"]
+        );
+        assert!(scanner.read_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn invalid_utf8_inside_quoted_multiline_record_is_one_reject() {
+        // The damaged bytes sit inside a quoted field spanning two lines:
+        // the whole logical record is consumed as one reject.
+        let text = b"a,\"span\xffning\nstill quoted\",b\nnext,row\n";
+        let mut scanner = CsvScanner::new(BufReader::new(&text[..]));
+        assert!(matches!(
+            scanner.read_record(),
+            Err(CsvError::Malformed { .. })
+        ));
+        assert_eq!(
+            scanner.read_record().unwrap().unwrap().to_vec(),
+            vec!["next", "row"]
         );
     }
 

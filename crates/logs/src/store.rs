@@ -1,8 +1,26 @@
 //! The on-disk dataset: four CSV tables in one directory.
+//!
+//! Two loading disciplines share one scanner:
+//!
+//! * **Strict** ([`Dataset::load_dir`]) — the first damaged row fails
+//!   the load. For data you wrote yourself a moment ago.
+//! * **Resilient** ([`Dataset::load_dir_with`]) — damaged rows are
+//!   counted and skipped up to a per-table ceiling, transient I/O
+//!   failures are retried by re-scanning the table from scratch, and
+//!   (when [`LoadOptions::degraded`] allows it) a table that cannot be
+//!   loaded at all — missing file, persistent I/O failure, unusable
+//!   header, or reject ceiling exceeded — is **quarantined**: dropped
+//!   from the dataset and recorded in the [`LoadReport`] instead of
+//!   failing the whole load. Downstream, [`SourceAvailability`] tells
+//!   the analysis layer which tables it may trust.
+//!
+//! The resilient path reads through the [`TableSource`] indirection, so
+//! the chaos harness (`bgq-chaos`) can inject `io::Error`s under the
+//! CSV scanner without touching the filesystem.
 
 use std::fmt;
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use bgq_model::{IoRecord, JobRecord, RasRecord, TaskRecord};
@@ -91,36 +109,93 @@ impl std::error::Error for StoreError {
     }
 }
 
-/// Options for the lenient loading path ([`Dataset::load_dir_with`]).
+/// Options for the resilient loading path ([`Dataset::load_dir_with`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadOptions {
     /// Maximum tolerated rejected-row ratio per table (rejected rows over
-    /// rows scanned). Above it the load fails with
-    /// [`StoreError::RejectRatio`] — a few mangled lines in a 2000-day
+    /// rows scanned). Above it the table fails with
+    /// [`StoreError::RejectRatio`] (or is quarantined under
+    /// [`LoadOptions::degraded`]) — a few mangled lines in a 2000-day
     /// archive are expected, but a table that is 5% garbage points at a
     /// corrupted export, not line noise.
+    ///
+    /// The boundary semantics are pinned by regression tests: `0.0`
+    /// means *no rejects tolerated* (a single damaged row trips the
+    /// ceiling — it does **not** disable the check), a table whose ratio
+    /// lands exactly on the ceiling still loads, and a `NaN` ceiling is
+    /// treated as `0.0` rather than silently disabling the guard.
     pub max_reject_ratio: f64,
+    /// Re-open/re-scan attempts per table after a transient I/O failure
+    /// (an `io::Error` from the underlying reader mid-scan, or a
+    /// non-`NotFound` open failure). `0` fails on the first error.
+    pub max_retries: u32,
+    /// Quarantine a table that cannot be loaded — missing file,
+    /// persistent I/O failure, unusable header, or reject ceiling
+    /// exceeded — instead of failing the whole load. The table comes
+    /// back empty, the [`LoadReport`] records the reason, and
+    /// [`LoadReport::availability`] tells the analysis layer which
+    /// sources it may trust.
+    pub degraded: bool,
 }
 
 impl Default for LoadOptions {
     fn default() -> Self {
         LoadOptions {
             max_reject_ratio: 0.01,
+            max_retries: 2,
+            degraded: false,
         }
     }
 }
 
-/// Per-table outcome of a lenient load.
+/// Why a table was dropped from a degraded load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The table file does not exist.
+    Missing,
+    /// I/O failures persisted through every retry.
+    Io,
+    /// The header row is absent or does not belong to this table.
+    Header,
+    /// The reject ratio exceeded [`LoadOptions::max_reject_ratio`].
+    RejectRatio,
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            QuarantineReason::Missing => "missing file",
+            QuarantineReason::Io => "persistent i/o failure",
+            QuarantineReason::Header => "unusable header",
+            QuarantineReason::RejectRatio => "reject ceiling exceeded",
+        })
+    }
+}
+
+/// Whether a table made it into the dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableStatus {
+    /// The table loaded (possibly with skipped rows — see the counts).
+    Loaded,
+    /// The table was dropped; the dataset holds no rows for it.
+    Quarantined(QuarantineReason),
+}
+
+/// Per-table outcome of a resilient load.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TableLoadStats {
     /// Table (file stem) the stats describe.
     pub table: &'static str,
+    /// Whether the table loaded or was quarantined.
+    pub status: TableStatus,
     /// Rows decoded successfully.
     pub rows: usize,
     /// Rows rejected by the CSV layer (structural damage).
     pub rejected_csv: usize,
     /// Rows rejected by schema decoding (bad field values).
     pub rejected_schema: usize,
+    /// Re-scan attempts consumed by transient I/O failures.
+    pub retries: u32,
     /// First schema rejection, kept for diagnostics.
     pub first_schema_error: Option<SchemaError>,
 }
@@ -142,10 +217,82 @@ impl TableLoadStats {
             self.rejected() as f64 / scanned as f64
         }
     }
+
+    /// `true` when the table was dropped rather than loaded.
+    #[must_use]
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self.status, TableStatus::Quarantined(_))
+    }
 }
 
-/// What a lenient load accepted and rejected, per table — the run
-/// manifest surfaces these totals as provenance.
+/// Which of the four log sources a load actually delivered.
+///
+/// A table is *available* when it loaded (even with zero rows — an empty
+/// table is data, a quarantined one is absence). The analysis layer uses
+/// this to mark stages whose inputs are missing as degraded instead of
+/// silently reporting zeros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceAvailability {
+    /// `jobs.csv` loaded.
+    pub jobs: bool,
+    /// `ras.csv` loaded.
+    pub ras: bool,
+    /// `tasks.csv` loaded.
+    pub tasks: bool,
+    /// `io.csv` loaded.
+    pub io: bool,
+}
+
+impl SourceAvailability {
+    /// Every source present — what a strict load guarantees.
+    pub const ALL: SourceAvailability = SourceAvailability {
+        jobs: true,
+        ras: true,
+        tasks: true,
+        io: true,
+    };
+
+    /// Availability of a table by name (unknown names count as present).
+    #[must_use]
+    pub fn available(&self, table: &str) -> bool {
+        match table {
+            "jobs" => self.jobs,
+            "ras" => self.ras,
+            "tasks" => self.tasks,
+            "io" => self.io,
+            _ => true,
+        }
+    }
+
+    /// `true` when every source is present.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.jobs && self.ras && self.tasks && self.io
+    }
+
+    /// The unavailable tables, in canonical order.
+    #[must_use]
+    pub fn missing(&self) -> Vec<&'static str> {
+        [
+            ("jobs", self.jobs),
+            ("ras", self.ras),
+            ("tasks", self.tasks),
+            ("io", self.io),
+        ]
+        .into_iter()
+        .filter_map(|(name, ok)| (!ok).then_some(name))
+        .collect()
+    }
+}
+
+impl Default for SourceAvailability {
+    fn default() -> Self {
+        SourceAvailability::ALL
+    }
+}
+
+/// What a resilient load accepted, rejected, and quarantined, per table
+/// — the run manifest surfaces these totals as provenance.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct LoadReport {
     /// One entry per table, in load order (jobs, ras, tasks, io).
@@ -157,6 +304,88 @@ impl LoadReport {
     #[must_use]
     pub fn total_rejected(&self) -> usize {
         self.tables.iter().map(TableLoadStats::rejected).sum()
+    }
+
+    /// The quarantined tables, in load order.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<&TableLoadStats> {
+        self.tables.iter().filter(|t| t.is_quarantined()).collect()
+    }
+
+    /// `true` when any table was quarantined.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.tables.iter().any(TableLoadStats::is_quarantined)
+    }
+
+    /// Which sources the load delivered (quarantined tables are absent).
+    #[must_use]
+    pub fn availability(&self) -> SourceAvailability {
+        let mut avail = SourceAvailability::ALL;
+        for t in &self.tables {
+            if t.is_quarantined() {
+                match t.table {
+                    "jobs" => avail.jobs = false,
+                    "ras" => avail.ras = false,
+                    "tasks" => avail.tasks = false,
+                    "io" => avail.io = false,
+                    _ => {}
+                }
+            }
+        }
+        avail
+    }
+
+    /// Stats for one table by name.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&TableLoadStats> {
+        self.tables.iter().find(|t| t.table == name)
+    }
+}
+
+/// Where table files come from.
+///
+/// The production implementation is [`DirSource`] (`<dir>/<table>.csv`);
+/// the chaos harness substitutes a fault-injecting source to exercise
+/// the retry and quarantine paths without touching the filesystem.
+pub trait TableSource {
+    /// Opens the named table (`jobs` → `jobs.csv`) for buffered reading.
+    ///
+    /// # Errors
+    ///
+    /// Forwards the underlying open failure; `NotFound` marks the table
+    /// as missing (never retried), anything else is treated as possibly
+    /// transient.
+    fn open_table(&self, table: &'static str) -> io::Result<Box<dyn BufRead + '_>>;
+
+    /// Human-readable origin of the table, for error messages.
+    fn describe(&self, table: &'static str) -> String;
+}
+
+/// The standard on-disk source: `<dir>/<table>.csv`.
+#[derive(Debug, Clone)]
+pub struct DirSource {
+    dir: std::path::PathBuf,
+}
+
+impl DirSource {
+    /// A source rooted at `dir`.
+    #[must_use]
+    pub fn new(dir: &Path) -> Self {
+        DirSource {
+            dir: dir.to_path_buf(),
+        }
+    }
+}
+
+impl TableSource for DirSource {
+    fn open_table(&self, table: &'static str) -> io::Result<Box<dyn BufRead + '_>> {
+        let file = File::open(table_path(&self.dir, table))?;
+        Ok(Box::new(BufReader::new(file)))
+    }
+
+    fn describe(&self, table: &'static str) -> String {
+        table_path(&self.dir, table).display().to_string()
     }
 }
 
@@ -216,25 +445,45 @@ impl Dataset {
         })
     }
 
-    /// Lenient load: damaged rows are counted and skipped instead of
-    /// failing the whole load, up to `opts.max_reject_ratio` per table.
+    /// Resilient load: damaged rows are counted and skipped instead of
+    /// failing the whole load, up to `opts.max_reject_ratio` per table;
+    /// transient I/O failures are retried (up to `opts.max_retries`
+    /// re-scans per table); and under `opts.degraded` an unloadable
+    /// table is quarantined instead of failing the load.
     ///
     /// Every accepted and rejected row is also recorded in the bgq-obs
-    /// collector (`store.rows` / `store.rejected`, labeled by table), so
-    /// run manifests carry the reject totals as provenance.
+    /// collector (`store.rows` / `store.rejected` / `store.quarantined`,
+    /// labeled by table), so run manifests carry the totals as
+    /// provenance.
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError`] on missing files, I/O failures, a header
-    /// mismatch (the file is the wrong table), or a table whose reject
-    /// ratio exceeds the configured ceiling.
+    /// With `opts.degraded` unset, returns [`StoreError`] on missing
+    /// files, persistent I/O failures, a header mismatch (the file is
+    /// the wrong table), or a table whose reject ratio exceeds the
+    /// configured ceiling. With it set, those conditions quarantine the
+    /// table instead and the load succeeds with a degraded report.
     pub fn load_dir_with(dir: &Path, opts: &LoadOptions) -> Result<(Self, LoadReport), StoreError> {
+        Self::load_source_with(&DirSource::new(dir), opts)
+    }
+
+    /// [`Dataset::load_dir_with`] over an arbitrary [`TableSource`] —
+    /// the seam the chaos harness uses to inject I/O faults under the
+    /// scanner.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Dataset::load_dir_with`].
+    pub fn load_source_with(
+        source: &dyn TableSource,
+        opts: &LoadOptions,
+    ) -> Result<(Self, LoadReport), StoreError> {
         let mut report = LoadReport::default();
         let ds = Dataset {
-            jobs: load_table_counting(dir, opts, &mut report)?,
-            ras: load_table_counting(dir, opts, &mut report)?,
-            tasks: load_table_counting(dir, opts, &mut report)?,
-            io: load_table_counting(dir, opts, &mut report)?,
+            jobs: load_table_resilient(source, opts, &mut report)?,
+            ras: load_table_resilient(source, opts, &mut report)?,
+            tasks: load_table_resilient(source, opts, &mut report)?,
+            io: load_table_resilient(source, opts, &mut report)?,
         };
         Ok((ds, report))
     }
@@ -321,25 +570,53 @@ fn load_table<R: Record>(dir: &Path) -> Result<Vec<R>, StoreError> {
     Ok(out)
 }
 
-/// Streaming lenient load: same single-pass scan as [`load_table`], but
-/// damaged rows (structural CSV damage or schema failures) are counted
-/// and skipped. Malformed lines *before* the header are counted as CSV
-/// rejects and the first clean record is taken as the header, matching
-/// the owned two-pass path this replaces.
-fn load_table_counting<R: Record>(
-    dir: &Path,
-    opts: &LoadOptions,
-    report: &mut LoadReport,
-) -> Result<Vec<R>, StoreError> {
-    let path = table_path(dir, R::TABLE);
-    let mut scanner = open_scanner::<R>(dir)?;
+/// One complete scan of a table through a [`TableSource`].
+struct ScanOutcome<R> {
+    records: Vec<R>,
+    rejected_csv: usize,
+    rejected_schema: usize,
+    first_schema_error: Option<SchemaError>,
+}
+
+/// Why a single scan attempt did not produce an outcome.
+enum ScanFailure {
+    /// The table file does not exist (`NotFound` on open) — never
+    /// retried: absence is a state, not a glitch.
+    Missing(io::Error),
+    /// The table could not be opened for another reason — possibly
+    /// transient, so eligible for retry.
+    Open(io::Error),
+    /// The reader failed mid-scan — possibly transient, so eligible for
+    /// retry (the whole table is re-scanned from scratch).
+    Read(CsvError),
+    /// The header row is absent or belongs to another table.
+    Header(SchemaError),
+}
+
+/// One scan attempt: open the table through `source`, resolve the
+/// header, stream-decode every record. Damaged rows (structural CSV
+/// damage or schema failures) are counted and skipped; malformed lines
+/// *before* the header are counted as CSV rejects and the first clean
+/// record is taken as the header.
+fn scan_table<R: Record>(source: &dyn TableSource) -> Result<ScanOutcome<R>, ScanFailure> {
+    let reader = source.open_table(R::TABLE).map_err(|e| {
+        if e.kind() == io::ErrorKind::NotFound {
+            ScanFailure::Missing(e)
+        } else {
+            ScanFailure::Open(e)
+        }
+    })?;
+    let mut scanner = CsvScanner::new(reader);
     let mut rejected_csv = 0usize;
     let cols = loop {
         match scanner.read_record() {
-            Ok(Some(header)) => break resolve_header::<R>(header)?,
-            Ok(None) => return Err(missing_header::<R>().into()),
+            Ok(Some(header)) => match resolve_header::<R>(header) {
+                Ok(cols) => break cols,
+                Err(e) => return Err(ScanFailure::Header(e)),
+            },
+            Ok(None) => return Err(ScanFailure::Header(missing_header::<R>())),
             Err(CsvError::Malformed { .. }) => rejected_csv += 1,
-            Err(e @ CsvError::Io(_)) => return Err(wrap_csv::<R>(e)),
+            Err(e @ CsvError::Io(_)) => return Err(ScanFailure::Read(e)),
         }
     };
     let mut records = Vec::new();
@@ -356,17 +633,107 @@ fn load_table_counting<R: Record>(
             },
             Ok(None) => break,
             Err(CsvError::Malformed { .. }) => rejected_csv += 1,
-            Err(e @ CsvError::Io(_)) => return Err(wrap_csv::<R>(e)),
+            Err(e @ CsvError::Io(_)) => return Err(ScanFailure::Read(e)),
         }
     }
-    let stats = TableLoadStats {
-        table: R::TABLE,
-        rows: records.len(),
+    Ok(ScanOutcome {
+        records,
         rejected_csv,
         rejected_schema,
         first_schema_error,
+    })
+}
+
+/// Records a quarantined table: empty stats (plus whatever counts the
+/// failed scan produced), the reason, and the obs counter.
+fn push_quarantined(
+    report: &mut LoadReport,
+    mut stats: TableLoadStats,
+    reason: QuarantineReason,
+) {
+    stats.status = TableStatus::Quarantined(reason);
+    bgq_obs::add_labeled("store.quarantined", stats.table, 1);
+    bgq_obs::warn!("table {}: quarantined ({reason})", stats.table);
+    report.tables.push(stats);
+}
+
+/// Resilient per-table load: bounded retry on transient I/O failures,
+/// reject-ceiling enforcement (NaN clamps to zero tolerance), and —
+/// when `opts.degraded` — quarantine instead of failure.
+fn load_table_resilient<R: Record>(
+    source: &dyn TableSource,
+    opts: &LoadOptions,
+    report: &mut LoadReport,
+) -> Result<Vec<R>, StoreError> {
+    let mut retries = 0u32;
+    let empty_stats = |retries| TableLoadStats {
+        table: R::TABLE,
+        status: TableStatus::Loaded,
+        rows: 0,
+        rejected_csv: 0,
+        rejected_schema: 0,
+        retries,
+        first_schema_error: None,
     };
-    bgq_obs::add_labeled("store.rows", R::TABLE, stats.rows as u64);
+    let outcome = loop {
+        let failure = match scan_table::<R>(source) {
+            Ok(outcome) => break outcome,
+            Err(f) => f,
+        };
+        if matches!(failure, ScanFailure::Open(_) | ScanFailure::Read(_))
+            && retries < opts.max_retries
+        {
+            retries += 1;
+            bgq_obs::add_labeled("store.retries", R::TABLE, 1);
+            bgq_obs::warn!(
+                "table {}: transient i/o failure, retry {retries} of {}",
+                R::TABLE,
+                opts.max_retries
+            );
+            continue;
+        }
+        let (reason, err) = match failure {
+            ScanFailure::Missing(source_err) => (
+                QuarantineReason::Missing,
+                StoreError::Io {
+                    path: source.describe(R::TABLE),
+                    source: source_err,
+                },
+            ),
+            ScanFailure::Open(source_err) => (
+                QuarantineReason::Io,
+                StoreError::Io {
+                    path: source.describe(R::TABLE),
+                    source: source_err,
+                },
+            ),
+            ScanFailure::Read(source_err) => (
+                QuarantineReason::Io,
+                StoreError::Csv {
+                    table: R::TABLE,
+                    source: source_err,
+                },
+            ),
+            ScanFailure::Header(e) => (QuarantineReason::Header, StoreError::Schema(e)),
+        };
+        if opts.degraded {
+            push_quarantined(report, empty_stats(retries), reason);
+            return Ok(Vec::new());
+        }
+        let mut stats = empty_stats(retries);
+        stats.status = TableStatus::Quarantined(reason);
+        report.tables.push(stats);
+        return Err(err);
+    };
+    let mut stats = TableLoadStats {
+        table: R::TABLE,
+        status: TableStatus::Loaded,
+        rows: outcome.records.len(),
+        rejected_csv: outcome.rejected_csv,
+        rejected_schema: outcome.rejected_schema,
+        retries,
+        first_schema_error: outcome.first_schema_error,
+    };
     bgq_obs::add_labeled("store.rejected", R::TABLE, stats.rejected() as u64);
     if stats.rejected() > 0 {
         bgq_obs::warn!(
@@ -374,7 +741,7 @@ fn load_table_counting<R: Record>(
             R::TABLE,
             stats.rejected(),
             stats.rows + stats.rejected(),
-            path.display(),
+            source.describe(R::TABLE),
             stats
                 .first_schema_error
                 .as_ref()
@@ -382,19 +749,32 @@ fn load_table_counting<R: Record>(
                 .unwrap_or_default(),
         );
     }
-    let ratio = stats.reject_ratio();
-    let out = if ratio > opts.max_reject_ratio {
-        Err(StoreError::RejectRatio {
+    // A NaN ceiling must not disable the guard: `ratio > NaN` is always
+    // false, which would wave every table through. Clamp to zero
+    // tolerance instead.
+    let limit = if opts.max_reject_ratio.is_nan() {
+        0.0
+    } else {
+        opts.max_reject_ratio
+    };
+    if stats.reject_ratio() > limit {
+        if opts.degraded {
+            push_quarantined(report, stats, QuarantineReason::RejectRatio);
+            return Ok(Vec::new());
+        }
+        let err = StoreError::RejectRatio {
             table: R::TABLE,
             rejected: stats.rejected(),
             scanned: stats.rows + stats.rejected(),
-            limit: opts.max_reject_ratio,
-        })
-    } else {
-        Ok(records)
-    };
+            limit,
+        };
+        stats.status = TableStatus::Quarantined(QuarantineReason::RejectRatio);
+        report.tables.push(stats);
+        return Err(err);
+    }
+    bgq_obs::add_labeled("store.rows", R::TABLE, stats.rows as u64);
     report.tables.push(stats);
-    out
+    Ok(outcome.records)
 }
 
 #[cfg(test)]
@@ -508,6 +888,7 @@ mod tests {
         let dir = corrupted_dir("lenient");
         let opts = LoadOptions {
             max_reject_ratio: 0.5,
+            ..LoadOptions::default()
         };
         let (ds, report) = Dataset::load_dir_with(&dir, &opts).unwrap();
         assert_eq!(ds.jobs.len(), 2, "the damaged row is dropped");
@@ -540,6 +921,210 @@ mod tests {
             }
             other => panic!("expected RejectRatio, got {other}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn zero_ceiling_means_zero_tolerance() {
+        // Regression pin for the boundary semantics: max_reject_ratio =
+        // 0.0 means "no rejects tolerated", NOT "ceiling disabled".
+        let dir = corrupted_dir("zero-ceiling");
+        let opts = LoadOptions {
+            max_reject_ratio: 0.0,
+            ..LoadOptions::default()
+        };
+        let err = Dataset::load_dir_with(&dir, &opts).unwrap_err();
+        assert!(
+            matches!(err, StoreError::RejectRatio { table: "jobs", rejected: 1, .. }),
+            "one damaged row must trip a zero ceiling, got: {err}"
+        );
+        // Under degraded mode the same ceiling quarantines instead.
+        let opts = LoadOptions {
+            max_reject_ratio: 0.0,
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (ds, report) = Dataset::load_dir_with(&dir, &opts).unwrap();
+        assert!(ds.jobs.is_empty(), "quarantined table comes back empty");
+        assert_eq!(ds.ras.len(), 1, "clean tables are unaffected");
+        assert_eq!(
+            report.table("jobs").unwrap().status,
+            TableStatus::Quarantined(QuarantineReason::RejectRatio)
+        );
+        assert!(!report.availability().jobs);
+        assert!(report.availability().ras);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ratio_exactly_at_ceiling_passes() {
+        // 1 reject of 3 scanned = 1/3; a ceiling of exactly 1/3 admits it
+        // (the check is strictly-greater-than).
+        let dir = corrupted_dir("exact-ceiling");
+        let opts = LoadOptions {
+            max_reject_ratio: 1.0 / 3.0,
+            ..LoadOptions::default()
+        };
+        let (ds, report) = Dataset::load_dir_with(&dir, &opts).unwrap();
+        assert_eq!(ds.jobs.len(), 2);
+        assert_eq!(report.table("jobs").unwrap().status, TableStatus::Loaded);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nan_ceiling_is_zero_tolerance_not_disabled() {
+        // `ratio > NaN` is always false, which would silently disable
+        // the guard; a NaN ceiling must clamp to zero tolerance.
+        let dir = corrupted_dir("nan-ceiling");
+        let opts = LoadOptions {
+            max_reject_ratio: f64::NAN,
+            ..LoadOptions::default()
+        };
+        let err = Dataset::load_dir_with(&dir, &opts).unwrap_err();
+        assert!(
+            matches!(err, StoreError::RejectRatio { table: "jobs", .. }),
+            "NaN ceiling must reject the damaged table, got: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_table_errors_strict_quarantines_degraded() {
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-missing-table-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.ras = vec![ras(1, 50)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        std::fs::remove_file(dir.join("ras.csv")).unwrap();
+        let err = Dataset::load_dir_with(&dir, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = Dataset::load_dir_with(&dir, &opts).unwrap();
+        assert_eq!(loaded.jobs.len(), 1);
+        assert!(loaded.ras.is_empty());
+        assert_eq!(
+            report.table("ras").unwrap().status,
+            TableStatus::Quarantined(QuarantineReason::Missing)
+        );
+        assert!(report.is_degraded());
+        assert_eq!(report.availability().missing(), vec!["ras"]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_header_quarantines_as_header() {
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-wrong-header-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        // Overwrite io.csv with a file whose header belongs to no table.
+        std::fs::write(dir.join("io.csv"), "alpha,beta\n1,2\n").unwrap();
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = Dataset::load_dir_with(&dir, &opts).unwrap();
+        assert!(loaded.io.is_empty());
+        assert_eq!(
+            report.table("io").unwrap().status,
+            TableStatus::Quarantined(QuarantineReason::Header)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A [`TableSource`] whose readers fail with an injected error for
+    /// the first `failures` opens of each table, then behave normally.
+    struct FlakySource {
+        inner: DirSource,
+        failures: u32,
+        opens: std::cell::RefCell<std::collections::HashMap<&'static str, u32>>,
+    }
+
+    impl FlakySource {
+        fn new(dir: &Path, failures: u32) -> Self {
+            FlakySource {
+                inner: DirSource::new(dir),
+                failures,
+                opens: std::cell::RefCell::new(std::collections::HashMap::new()),
+            }
+        }
+    }
+
+    impl TableSource for FlakySource {
+        fn open_table(&self, table: &'static str) -> io::Result<Box<dyn BufRead + '_>> {
+            let mut opens = self.opens.borrow_mut();
+            let n = opens.entry(table).or_insert(0);
+            *n += 1;
+            if *n <= self.failures {
+                return Err(io::Error::other("injected transient failure"));
+            }
+            self.inner.open_table(table)
+        }
+
+        fn describe(&self, table: &'static str) -> String {
+            format!("flaky:{}", self.inner.describe(table))
+        }
+    }
+
+    #[test]
+    fn transient_io_failure_is_retried_to_success() {
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-transient-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.ras = vec![ras(1, 50)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        let source = FlakySource::new(&dir, 1);
+        let (loaded, report) =
+            Dataset::load_source_with(&source, &LoadOptions::default()).unwrap();
+        assert_eq!(loaded, ds);
+        for t in &report.tables {
+            assert_eq!(t.status, TableStatus::Loaded);
+            assert_eq!(t.retries, 1, "each table needed one retry");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_io_failure_quarantines_or_errors() {
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-persistent-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        // More failures than retries: the table never loads.
+        let source = FlakySource::new(&dir, u32::MAX);
+        let err = Dataset::load_source_with(&source, &LoadOptions::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Io { .. }));
+        let source = FlakySource::new(&dir, u32::MAX);
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = Dataset::load_source_with(&source, &opts).unwrap();
+        assert!(loaded.jobs.is_empty());
+        for t in &report.tables {
+            assert_eq!(t.status, TableStatus::Quarantined(QuarantineReason::Io));
+            assert_eq!(t.retries, LoadOptions::default().max_retries);
+        }
+        assert!(!report.availability().is_complete());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -2,7 +2,7 @@
 
 use std::io::BufReader;
 
-use bgq_logs::csv::{write_record, CsvReader};
+use bgq_logs::csv::{write_record, CsvError, CsvReader, CsvScanner};
 use bgq_logs::interval::IntervalIndex;
 use bgq_model::{Span, Timestamp};
 use proptest::prelude::*;
@@ -10,6 +10,21 @@ use proptest::prelude::*;
 /// Arbitrary field content, including separators, quotes, and newlines.
 fn arb_field() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[ -~\n\"]{0,40}").expect("valid regex")
+}
+
+/// Arbitrary input bytes, biased toward the characters the scanner's
+/// state machine actually branches on (separators, quotes, CR/LF) but
+/// also covering the full byte range, including invalid UTF-8.
+fn arb_scanner_input() -> impl Strategy<Value = Vec<u8>> {
+    let byte = prop_oneof![
+        Just(b','),
+        Just(b'"'),
+        Just(b'\n'),
+        Just(b'\r'),
+        0x20u8..0x7f,
+        0u8..=255u8,
+    ];
+    proptest::collection::vec(byte, 0..600)
 }
 
 proptest! {
@@ -33,6 +48,54 @@ proptest! {
         for (got, want) in parsed.iter().zip(expected) {
             prop_assert_eq!(got, want);
         }
+    }
+
+    // The chaos-harness floor for the scanner: *whatever* bytes come in
+    // — unbalanced quotes, bare CRs, invalid UTF-8 — the scanner never
+    // panics, never loops, and leaves each error at a record boundary so
+    // the next call makes progress.
+    #[test]
+    fn scanner_survives_arbitrary_bytes(bytes in arb_scanner_input()) {
+        let mut scanner = CsvScanner::new(BufReader::new(&bytes[..]));
+        let mut calls = 0usize;
+        loop {
+            calls += 1;
+            // Every call past EOF-detection consumes at least one input
+            // byte (a record, a skipped blank line, or a rejected record),
+            // so this bound can only trip on a progress bug.
+            prop_assert!(
+                calls <= bytes.len() + 2,
+                "scanner stopped making progress after {} calls on {} bytes",
+                calls,
+                bytes.len()
+            );
+            match scanner.read_record() {
+                Ok(None) => break, // clean EOF at a record boundary
+                Ok(Some(rec)) => prop_assert!(!rec.is_empty()),
+                Err(CsvError::Malformed { line, .. }) => prop_assert!(line >= 1),
+                Err(CsvError::Io(e)) => panic!("impossible I/O error over a slice: {e}"),
+            }
+        }
+    }
+
+    /// Same input, read twice: the scanner is deterministic, so the
+    /// sequence of (record, error) outcomes must repeat exactly.
+    #[test]
+    fn scanner_outcomes_are_deterministic(bytes in arb_scanner_input()) {
+        let outcomes = |input: &[u8]| {
+            let mut scanner = CsvScanner::new(BufReader::new(input));
+            let mut seq = Vec::new();
+            loop {
+                match scanner.read_record() {
+                    Ok(None) => break,
+                    Ok(Some(rec)) => seq.push(Ok(rec.to_vec())),
+                    Err(CsvError::Malformed { line, reason }) => seq.push(Err((line, reason))),
+                    Err(CsvError::Io(e)) => panic!("impossible I/O error over a slice: {e}"),
+                }
+            }
+            seq
+        };
+        prop_assert_eq!(outcomes(&bytes), outcomes(&bytes));
     }
 
     #[test]
