@@ -38,14 +38,14 @@ fn main() -> ExitCode {
         .filter(|a| days.map(|d| d.to_string()) != Some((*a).clone()))
         .collect();
     if !unknown.is_empty() {
-        eprintln!(
+        bgq_obs::error!(
             "unknown experiment ids {unknown:?}; valid: {} (or --all)",
             EXPERIMENT_IDS.join(", ")
         );
         return ExitCode::FAILURE;
     }
     if ids.is_empty() && !all {
-        eprintln!(
+        bgq_obs::error!(
             "usage: experiments [--full] [--quiet] [--days N] (--all | e1 .. e14)\nvalid ids: {}",
             EXPERIMENT_IDS.join(", ")
         );
@@ -87,7 +87,7 @@ fn main() -> ExitCode {
         match run_experiment(id, &ctx) {
             Ok(text) => println!("{text}"),
             Err(err) => {
-                eprintln!("error: {err}");
+                bgq_obs::error!("{err}");
                 return ExitCode::FAILURE;
             }
         }

@@ -30,6 +30,25 @@ pub enum CliError {
         /// The underlying I/O failure.
         source: std::io::Error,
     },
+    /// `--trace-out` timeline could not be written.
+    Trace {
+        /// Destination the trace was headed for.
+        path: PathBuf,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// `--baseline` manifest could not be read or parsed.
+    Baseline {
+        /// The baseline file.
+        path: PathBuf,
+        /// What went wrong (I/O or JSON shape).
+        detail: String,
+    },
+    /// `--check` found the run over budget against the baseline.
+    Regression {
+        /// One line per exceeded budget.
+        violations: Vec<String>,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -39,6 +58,19 @@ impl fmt::Display for CliError {
             CliError::Store(e) => write!(f, "dataset error: {e}"),
             CliError::Metrics { path, source } => {
                 write!(f, "failed writing metrics to {}: {source}", path.display())
+            }
+            CliError::Trace { path, source } => {
+                write!(f, "failed writing trace to {}: {source}", path.display())
+            }
+            CliError::Baseline { path, detail } => {
+                write!(f, "failed reading baseline {}: {detail}", path.display())
+            }
+            CliError::Regression { violations } => {
+                writeln!(f, "regression gate: FAIL ({} violation(s))", violations.len())?;
+                for v in violations {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -60,6 +92,9 @@ GLOBAL FLAGS (valid before or after any command):
   --quiet                silence info/warning diagnostics on stderr
   --trace[=tree|json]    append the run's stage timings and counters to the
                          output (default: tree)
+  --trace-out PATH       write a per-thread timeline of the run as Chrome
+                         trace-event JSON to PATH (open in chrome://tracing
+                         or Perfetto)
   --metrics PATH         write the run manifest as JSON to PATH
   --max-reject-ratio R   load datasets leniently: skip damaged CSV rows and
                          fail only when a table's reject ratio exceeds R
@@ -95,10 +130,22 @@ USAGE:
       precision/recall/lead-time evaluation.
 
   mira-mine profile [DIR] [--days N] [--seed S]
+                    [--baseline PATH [--check[=BUDGETS]]]
       Run the full indexed analysis under instrumentation and print the
       hottest pipeline stages. Without DIR, profiles a simulated trace
       (default 30 days, seed 1). Combine with --metrics to capture the
       run manifest as JSON.
+      --baseline PATH  compare this run against a manifest previously
+                       written by --metrics and print the drift report
+      --check[=BUDGETS]
+                       with --baseline: exit nonzero when the drift
+                       exceeds budget. BUDGETS is key=value pairs from
+                       wall (max total wall-time ratio, default 1.5),
+                       counter (max counter drift, default 0 = exact),
+                       alloc (max alloc.* drift, default 0.25); a value
+                       of `off` disables that gate. Counters are
+                       deterministic, wall time is machine-dependent —
+                       cross-machine gates should pass wall=off.
 
   mira-mine help
       Show this message.";
@@ -138,6 +185,7 @@ enum TraceFormat {
 struct GlobalOpts {
     quiet: bool,
     trace: Option<TraceFormat>,
+    trace_out: Option<PathBuf>,
     metrics: Option<PathBuf>,
     max_reject_ratio: Option<f64>,
     degraded: bool,
@@ -157,6 +205,10 @@ fn split_global_flags(args: &[String]) -> Result<(Vec<String>, GlobalOpts), CliE
             "--metrics" => match iter.next() {
                 Some(v) => opts.metrics = Some(PathBuf::from(v)),
                 None => return Err(CliError::Usage("--metrics requires a path".into())),
+            },
+            "--trace-out" => match iter.next() {
+                Some(v) => opts.trace_out = Some(PathBuf::from(v)),
+                None => return Err(CliError::Usage("--trace-out requires a path".into())),
             },
             "--max-reject-ratio" => match iter.next() {
                 Some(v) => {
@@ -198,8 +250,15 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     if opts.quiet {
         bgq_obs::set_verbosity(bgq_obs::Verbosity::Quiet);
     }
+    // Scoped bgq-par workers must flush their thread-local trace buffers
+    // before the scope joins them (TLS destructors alone can run too
+    // late — see bgq_obs::trace); the epilogue hook is how.
+    bgq_par::set_worker_epilogue(bgq_obs::trace::flush_thread);
+    if opts.trace_out.is_some() {
+        bgq_obs::trace::enable();
+    }
     let before = bgq_obs::snapshot();
-    let mut out = match rest.first().map(String::as_str) {
+    let result = match rest.first().map(String::as_str) {
         Some("gen") => cmd_gen(&rest[1..]),
         Some("analyze") => cmd_analyze(&rest[1..], &opts),
         Some("report") => cmd_report(&rest[1..], &opts),
@@ -209,25 +268,57 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("profile") => cmd_profile(&rest[1..], &opts),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
-    }?;
-    emit_observability(&before, args, &opts, &mut out)?;
-    Ok(out)
+    };
+    match result {
+        Ok(mut out) => {
+            emit_observability(&before, args, &opts, &mut out, None)?;
+            Ok(out)
+        }
+        Err(err) => {
+            // A failed run still writes its telemetry — a truncated
+            // manifest/timeline is exactly what debugging the failure
+            // needs. The original error wins over any emission error.
+            let mut discarded = String::new();
+            if let Err(obs_err) = emit_observability(&before, args, &opts, &mut discarded, Some(&err))
+            {
+                bgq_obs::error!("{obs_err}");
+            }
+            Err(err)
+        }
+    }
 }
 
-/// Appends/writes the run manifest when `--trace` / `--metrics` ask for it.
+/// Appends/writes the run manifest when `--trace` / `--metrics` ask for
+/// it, and the Chrome trace timeline when `--trace-out` does. Runs on
+/// success *and* failure (`error` carries the failure, recorded in the
+/// manifest's meta), so degraded and failed runs still leave telemetry.
 fn emit_observability(
     before: &bgq_obs::Snapshot,
     args: &[String],
     opts: &GlobalOpts,
     out: &mut String,
+    error: Option<&CliError>,
 ) -> Result<(), CliError> {
+    if let Some(path) = &opts.trace_out {
+        bgq_obs::trace::disable();
+        let events = bgq_obs::trace::take();
+        let json = bgq_obs::trace::to_chrome_json(&events);
+        std::fs::write(path, json).map_err(|source| CliError::Trace {
+            path: path.clone(),
+            source,
+        })?;
+    }
     if opts.trace.is_none() && opts.metrics.is_none() {
         return Ok(());
     }
-    let manifest = RunManifest::new(bgq_obs::snapshot().since(before))
+    let mut manifest = RunManifest::new(bgq_obs::snapshot().since(before))
         .with_meta("command", format!("mira-mine {}", args.join(" ")))
         .with_meta("features", feature_list())
-        .with_meta("threads", thread_count().to_string());
+        .with_meta("threads", thread_count().to_string())
+        .with_meta("status", if error.is_some() { "error" } else { "ok" });
+    if let Some(e) = error {
+        manifest = manifest.with_meta("error", e.to_string());
+    }
     match opts.trace {
         Some(TraceFormat::Tree) => {
             out.push('\n');
@@ -603,10 +694,31 @@ pub fn dataset_fingerprint(ds: &Dataset) -> u64 {
     h.finish()
 }
 
+/// The `--check[=BUDGETS]` flag: `None` when absent, `Some(spec)` when
+/// present (`spec` is empty for the bare form — all default budgets).
+fn parse_check_flag(args: &[String]) -> Option<String> {
+    args.iter().find_map(|a| {
+        if a == "--check" {
+            Some(String::new())
+        } else {
+            a.strip_prefix("--check=").map(str::to_owned)
+        }
+    })
+}
+
 fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     let days: u32 = parse_num(args, "--days")?.unwrap_or(30);
     let seed: u64 = parse_num(args, "--seed")?.unwrap_or(1);
-    let dir = positional(args, &["--days", "--seed"]);
+    let baseline_path: Option<PathBuf> = parse_flag(args, "--baseline")?.map(PathBuf::from);
+    let check = parse_check_flag(args);
+    if check.is_some() && baseline_path.is_none() {
+        return Err(CliError::Usage("--check requires --baseline PATH".into()));
+    }
+    let budgets = match &check {
+        Some(spec) => Some(bgq_obs::diff::Budgets::parse(spec).map_err(CliError::Usage)?),
+        None => None,
+    };
+    let dir = positional(args, &["--days", "--seed", "--baseline"]);
 
     let before = bgq_obs::snapshot();
     let (ds, avail, source) = match dir {
@@ -647,20 +759,67 @@ fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     }
 
     let profile = RunManifest::new(delta);
-    let mut table = Table::new(
-        vec!["stage".into(), "calls".into(), "wall (ms)".into(), "mean (ms)".into()],
-        vec![Align::Left, Align::Right, Align::Right, Align::Right],
-    );
+    // Allocation columns only when the build tracked allocations
+    // (`obs-alloc` feature) — empty columns would just be noise.
+    let has_alloc = profile
+        .snapshot
+        .counters
+        .keys()
+        .any(|(name, _)| name == "alloc.allocs");
+    let mut headers = vec![
+        "stage".to_owned(),
+        "calls".into(),
+        "wall (ms)".into(),
+        "mean (ms)".into(),
+        "p99 (ms)".into(),
+    ];
+    let mut aligns = vec![Align::Left, Align::Right, Align::Right, Align::Right, Align::Right];
+    if has_alloc {
+        headers.extend(["allocs".to_owned(), "alloc KiB".into()]);
+        aligns.extend([Align::Right, Align::Right]);
+    }
+    let mut table = Table::new(headers, aligns);
     for (name, stat) in profile.hot_stages() {
-        table.row(vec![
+        let p99 = profile
+            .snapshot
+            .span_hist(name)
+            .and_then(bgq_obs::Histogram::p99)
+            .map_or_else(|| "-".into(), |ns| format!("{:.3}", ns as f64 / 1e6));
+        let mut row = vec![
             name.to_owned(),
             stat.calls.to_string(),
             format!("{:.3}", stat.wall_ms()),
             format!("{:.3}", stat.wall_ms() / stat.calls.max(1) as f64),
-        ]);
+            p99,
+        ];
+        if has_alloc {
+            row.push(group_thousands(profile.snapshot.counter("alloc.allocs", name)));
+            row.push(group_thousands(profile.snapshot.counter("alloc.bytes", name) / 1024));
+        }
+        table.row(row);
     }
     out.push_str("hottest stages (wall time summed across threads):\n");
     out.push_str(&table.render());
+
+    if !profile.snapshot.hists.is_empty() {
+        out.push_str(
+            "\ndata distributions (p50/p90/p99 within 6.25% above the true order statistic):\n",
+        );
+        for ((name, label), h) in &profile.snapshot.hists {
+            let key = if label.is_empty() {
+                name.clone()
+            } else {
+                format!("{name}{{{label}}}")
+            };
+            out.push_str(&format!(
+                "  {key}: n={} p50={} p90={} p99={}\n",
+                group_thousands(h.count()),
+                h.p50().unwrap_or(0),
+                h.p90().unwrap_or(0),
+                h.p99().unwrap_or(0),
+            ));
+        }
+    }
 
     out.push_str(&format!(
         "\nfilter funnel: {} raw FATAL -> {} temporal -> {} spatial -> {} incidents\n",
@@ -684,6 +843,30 @@ fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
             out.push_str(&format!(
                 "join memo ({label}): built {builds}x, reused {hits}x\n"
             ));
+        }
+    }
+
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).map_err(|e| CliError::Baseline {
+            path: path.clone(),
+            detail: e.to_string(),
+        })?;
+        let baseline = RunManifest::from_json(&text).map_err(|e| CliError::Baseline {
+            path: path.clone(),
+            detail: e,
+        })?;
+        let diff = profile.diff(&baseline);
+        out.push_str(&format!("\nbaseline: {}\n", path.display()));
+        out.push_str(&diff.report());
+        if let Some(budgets) = budgets {
+            let violations = diff.check(&budgets);
+            if violations.is_empty() {
+                out.push_str("regression gate: PASS\n");
+            } else {
+                return Err(CliError::Regression {
+                    violations: violations.iter().map(ToString::to_string).collect(),
+                });
+            }
         }
     }
     Ok(out)
@@ -924,5 +1107,182 @@ mod tests {
         assert!(err.to_string().contains("reject"), "{err}");
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_json() {
+        let path = temp_dir("traceout").with_extension("json");
+        run(&s(&[
+            "--trace-out",
+            path.to_str().unwrap(),
+            "profile",
+            "--days",
+            "3",
+            "--seed",
+            "2",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = bgq_obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("displayTimeUnit").and_then(|v| v.as_str()), Some("ms"));
+        let events = doc.get("traceEvents").unwrap().items();
+        if bgq_obs::enabled() {
+            // Begin/end events nest per thread: every E closes the span
+            // the tid's stack has on top. (Spans still open at export —
+            // e.g. from concurrently running tests — legitimately leave
+            // unmatched B's, so stacks need not drain to empty.)
+            let mut stacks: std::collections::HashMap<u64, Vec<String>> =
+                std::collections::HashMap::new();
+            let mut our_begins = 0;
+            for ev in events {
+                let name = ev.get("name").and_then(|v| v.as_str()).unwrap().to_owned();
+                let tid = ev.get("tid").and_then(bgq_obs::json::JsonValue::as_u64).unwrap();
+                assert!(ev.get("ts").and_then(bgq_obs::json::JsonValue::as_f64).is_some());
+                match ev.get("ph").and_then(|v| v.as_str()) {
+                    Some("B") => {
+                        if name == "analysis.run" {
+                            our_begins += 1;
+                        }
+                        stacks.entry(tid).or_default().push(name);
+                    }
+                    Some("E") => {
+                        let top = stacks.entry(tid).or_default().pop();
+                        assert_eq!(top.as_deref(), Some(name.as_str()), "tid {tid}");
+                    }
+                    other => panic!("unexpected ph {other:?}"),
+                }
+            }
+            assert!(our_begins >= 1, "profile run should trace analysis.run");
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn trace_out_requires_a_path() {
+        let err = run(&s(&["--trace-out"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn check_without_baseline_is_a_usage_error() {
+        let err = run(&s(&["profile", "--days", "3", "--check"])).unwrap_err();
+        assert!(err.to_string().contains("--baseline"), "{err}");
+        let err = run(&s(&[
+            "profile",
+            "--days",
+            "3",
+            "--baseline",
+            "/nonexistent.json",
+            "--check=walls=2",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn regression_gate_passes_clean_and_fails_doctored_baseline() {
+        if !bgq_obs::enabled() {
+            return; // without `obs` the profile has no spans to gate
+        }
+        let base = temp_dir("gate-base").with_extension("json");
+        run(&s(&[
+            "--metrics",
+            base.to_str().unwrap(),
+            "profile",
+            "--days",
+            "4",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+
+        // Clean re-run against its own baseline: counters are
+        // seed-deterministic and schedule-independent, so the exact
+        // counter gate passes; wall time is machine noise, so gate it
+        // off (alloc too — per-stage attribution is schedule-dependent).
+        let out = run(&s(&[
+            "profile",
+            "--days",
+            "4",
+            "--seed",
+            "7",
+            "--baseline",
+            base.to_str().unwrap(),
+            "--check=wall=off,alloc=off",
+        ]))
+        .unwrap();
+        assert!(out.contains("regression gate: PASS"), "{out}");
+        assert!(out.contains("baseline:"), "{out}");
+
+        // Doctor the baseline to a tenth of the measured wall time: the
+        // re-run then looks ~10x slower, far past the default 1.5x
+        // budget even under run-to-run variance.
+        let doctored = temp_dir("gate-doctored").with_extension("json");
+        let mut m = RunManifest::from_json(&std::fs::read_to_string(&base).unwrap()).unwrap();
+        for stat in m.snapshot.spans.values_mut() {
+            stat.wall_ns = (stat.wall_ns / 10).max(1);
+        }
+        std::fs::write(&doctored, m.to_json()).unwrap();
+        let err = run(&s(&[
+            "profile",
+            "--days",
+            "4",
+            "--seed",
+            "7",
+            "--baseline",
+            doctored.to_str().unwrap(),
+            "--check=counter=off,alloc=off",
+        ]))
+        .unwrap_err();
+        match &err {
+            CliError::Regression { violations } => {
+                assert!(
+                    violations.iter().any(|v| v.contains("wall")),
+                    "{violations:?}"
+                );
+            }
+            other => panic!("expected a regression error, got {other}"),
+        }
+        assert!(err.to_string().contains("regression gate: FAIL"), "{err}");
+
+        // Without --check the same diff is reported but never fatal.
+        let out = run(&s(&[
+            "profile",
+            "--days",
+            "4",
+            "--seed",
+            "7",
+            "--baseline",
+            doctored.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("  wall:"), "{out}");
+
+        std::fs::remove_file(&base).unwrap();
+        std::fs::remove_file(&doctored).unwrap();
+    }
+
+    #[test]
+    fn metrics_manifest_is_written_even_when_the_command_fails() {
+        let path = temp_dir("metrics-err").with_extension("json");
+        let err = run(&s(&[
+            "--metrics",
+            path.to_str().unwrap(),
+            "analyze",
+            "/nonexistent/mira-data",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Store(_)), "{err}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"status\":\"error\""), "{json}");
+        assert!(json.contains("\"error\":"), "{json}");
+        std::fs::remove_file(&path).unwrap();
+
+        // The success path stamps status ok.
+        let ok_path = temp_dir("metrics-ok").with_extension("json");
+        run(&s(&["--metrics", ok_path.to_str().unwrap(), "profile", "--days", "3"])).unwrap();
+        let json = std::fs::read_to_string(&ok_path).unwrap();
+        assert!(json.contains("\"status\":\"ok\""), "{json}");
+        std::fs::remove_file(&ok_path).unwrap();
     }
 }

@@ -14,7 +14,7 @@ fn main() -> ExitCode {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => ExitCode::SUCCESS,
                 Err(e) => {
-                    eprintln!("error: failed writing output: {e}");
+                    bgq_obs::error!("failed writing output: {e}");
                     ExitCode::FAILURE
                 }
             }

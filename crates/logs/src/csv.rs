@@ -140,6 +140,14 @@ impl<'a> RecordView<'a> {
     pub fn to_vec(&self) -> Vec<String> {
         self.iter().map(str::to_owned).collect()
     }
+
+    /// Total unescaped payload bytes across all fields (delimiters and
+    /// quoting excluded) — the row-size measure the `store.row_bytes`
+    /// histogram records.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.ends.last().copied().unwrap_or(0)
+    }
 }
 
 impl<'a> IntoIterator for RecordView<'a> {

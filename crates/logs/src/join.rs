@@ -110,39 +110,50 @@ pub fn attribute_events_with(
     debug_assert_eq!(index.len(), jobs.len(), "index must cover the job log");
     let _span = bgq_obs::span!("join.attribute");
     // The fold carries a per-chunk candidate count (stab callback
-    // invocations, i.e. time-overlapping jobs before the block check), so
-    // the counters cost two adds per join rather than one per record.
-    let (pairs, candidates) = bgq_par::par_chunk_fold(
+    // invocations, i.e. time-overlapping jobs before the block check)
+    // and a per-event candidate histogram, so the telemetry costs a few
+    // adds per chunk rather than one lock per record. Histogram merges
+    // are bucket-wise sums, so the published distribution is identical
+    // under any worker schedule.
+    let (pairs, candidates, per_event) = bgq_par::par_chunk_fold(
         events,
-        || (Vec::new(), 0u64),
+        || (Vec::new(), 0u64, bgq_obs::Histogram::new()),
         |base, chunk| {
             let mut pairs = Vec::new();
             let mut candidates = 0u64;
+            let mut per_event = bgq_obs::Histogram::new();
             for (off, ev) in chunk.iter().enumerate() {
                 if ev.severity < min_severity {
                     continue;
                 }
                 let event_idx = base + off;
+                let mut ev_candidates = 0u64;
                 index.stab_each(ev.event_time, |job_idx| {
-                    candidates += 1;
+                    ev_candidates += 1;
                     if jobs[job_idx].block.contains(&ev.location) {
                         pairs.push(Attribution { event_idx, job_idx });
                     }
                 });
+                candidates += ev_candidates;
+                if bgq_obs::enabled() {
+                    per_event.record(ev_candidates);
+                }
             }
-            (pairs, candidates)
+            (pairs, candidates, per_event)
         },
-        |(mut acc, n), (part, m)| {
+        |(mut acc, n, mut hist), (part, m, part_hist)| {
+            hist.merge(&part_hist);
             if acc.is_empty() {
-                (part, n + m)
+                (part, n + m, hist)
             } else {
                 acc.extend(part);
-                (acc, n + m)
+                (acc, n + m, hist)
             }
         },
     );
     bgq_obs::add("join.candidates", candidates);
     bgq_obs::add("join.emitted", pairs.len() as u64);
+    bgq_obs::hist_merge("join.candidates_per_event", "", &per_event);
     JoinResult { pairs }
 }
 

@@ -557,6 +557,11 @@ fn resolve_header<R: Record>(
 /// Streaming strict load: records are decoded as the scanner yields them
 /// (one reused record buffer, no materialized `Vec<Vec<String>>`); the
 /// first malformed line or undecodable row fails the load.
+///
+/// Publishes the same per-table ingest telemetry as the resilient path
+/// (`store.rows` plus the `store.row_bytes` / `store.reject_permille`
+/// histograms — the latter always 0‰ here, since any damaged row fails
+/// the load outright).
 fn load_table<R: Record>(dir: &Path) -> Result<Vec<R>, StoreError> {
     let mut scanner = open_scanner::<R>(dir)?;
     let cols = match scanner.read_record().map_err(wrap_csv::<R>)? {
@@ -564,10 +569,32 @@ fn load_table<R: Record>(dir: &Path) -> Result<Vec<R>, StoreError> {
         None => return Err(missing_header::<R>().into()),
     };
     let mut out = Vec::new();
+    let mut row_bytes = bgq_obs::Histogram::new();
     while let Some(view) = scanner.read_record().map_err(wrap_csv::<R>)? {
+        let payload = view.byte_len() as u64;
         out.push(R::decode_fields(&view, &cols)?);
+        if bgq_obs::enabled() {
+            row_bytes.record(payload);
+        }
     }
+    publish_table_hists::<R>(&row_bytes, 0);
+    bgq_obs::add_labeled("store.rows", R::TABLE, out.len() as u64);
     Ok(out)
+}
+
+/// Publishes the per-table ingest histograms for one completed scan:
+/// the accepted-row payload-size distribution and the rejected-row rate
+/// in permille. Shared by the strict and resilient load paths so
+/// directory loads carry the same data-shape provenance either way.
+fn publish_table_hists<R: Record>(row_bytes: &bgq_obs::Histogram, rejected: usize) {
+    if !bgq_obs::enabled() {
+        return;
+    }
+    bgq_obs::hist_merge("store.row_bytes", R::TABLE, row_bytes);
+    let scanned = row_bytes.count() + rejected as u64;
+    if let Some(permille) = (rejected as u64 * 1000).checked_div(scanned) {
+        bgq_obs::hist_record_labeled("store.reject_permille", R::TABLE, permille);
+    }
 }
 
 /// One complete scan of a table through a [`TableSource`].
@@ -576,6 +603,10 @@ struct ScanOutcome<R> {
     rejected_csv: usize,
     rejected_schema: usize,
     first_schema_error: Option<SchemaError>,
+    /// Unescaped payload bytes of each accepted row (empty when the
+    /// `obs` feature is off). Published as `store.row_bytes{table}` by
+    /// the *successful* load only, so retried scans never double-count.
+    row_bytes: bgq_obs::Histogram,
 }
 
 /// Why a single scan attempt did not produce an outcome.
@@ -622,10 +653,18 @@ fn scan_table<R: Record>(source: &dyn TableSource) -> Result<ScanOutcome<R>, Sca
     let mut records = Vec::new();
     let mut rejected_schema = 0usize;
     let mut first_schema_error = None;
+    let mut row_bytes = bgq_obs::Histogram::new();
     loop {
         match scanner.read_record() {
             Ok(Some(view)) => match R::decode_fields(&view, &cols) {
-                Ok(rec) => records.push(rec),
+                Ok(rec) => {
+                    // `enabled()` is const: the accumulation compiles
+                    // out entirely in obs-off builds.
+                    if bgq_obs::enabled() {
+                        row_bytes.record(view.byte_len() as u64);
+                    }
+                    records.push(rec);
+                }
                 Err(e) => {
                     rejected_schema += 1;
                     first_schema_error.get_or_insert(e);
@@ -641,6 +680,7 @@ fn scan_table<R: Record>(source: &dyn TableSource) -> Result<ScanOutcome<R>, Sca
         rejected_csv,
         rejected_schema,
         first_schema_error,
+        row_bytes,
     })
 }
 
@@ -735,6 +775,7 @@ fn load_table_resilient<R: Record>(
         first_schema_error: outcome.first_schema_error,
     };
     bgq_obs::add_labeled("store.rejected", R::TABLE, stats.rejected() as u64);
+    publish_table_hists::<R>(&outcome.row_bytes, stats.rejected());
     if stats.rejected() > 0 {
         bgq_obs::warn!(
             "table {}: skipped {} damaged row(s) of {} ({}){}",

@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::hist::Histogram;
 use crate::snapshot::{Snapshot, SpanStat};
 
 #[derive(Default)]
@@ -17,12 +18,18 @@ struct State {
     counters: BTreeMap<(&'static str, String), u64>,
     gauges: BTreeMap<(&'static str, String), u64>,
     spans: BTreeMap<&'static str, SpanStat>,
+    /// Data histograms recorded via `hist_record`/`hist_merge`.
+    hists: BTreeMap<(&'static str, String), Histogram>,
+    /// Per-invocation span durations (ns), keyed by span name.
+    span_ns: BTreeMap<&'static str, Histogram>,
 }
 
 static STATE: Mutex<State> = Mutex::new(State {
     counters: BTreeMap::new(),
     gauges: BTreeMap::new(),
     spans: BTreeMap::new(),
+    hists: BTreeMap::new(),
+    span_ns: BTreeMap::new(),
 });
 
 fn locked() -> std::sync::MutexGuard<'static, State> {
@@ -39,6 +46,34 @@ pub(crate) fn record_span(name: &'static str, elapsed: Duration) {
     let stat = st.spans.entry(name).or_default();
     stat.calls += 1;
     stat.wall_ns = stat.wall_ns.saturating_add(ns);
+    // Per-invocation duration distribution: tail behavior of a stage
+    // that runs many times (one log bucket insert; same lock).
+    st.span_ns.entry(name).or_default().record(ns);
+}
+
+pub(crate) fn record_hist(name: &'static str, label: &str, value: u64) {
+    let mut st = locked();
+    match st.hists.get_mut(&(name, label.to_owned())) {
+        Some(h) => h.record(value),
+        None => {
+            let mut h = Histogram::new();
+            h.record(value);
+            st.hists.insert((name, label.to_owned()), h);
+        }
+    }
+}
+
+pub(crate) fn merge_hist(name: &'static str, label: &str, part: &Histogram) {
+    if part.is_empty() {
+        return;
+    }
+    let mut st = locked();
+    match st.hists.get_mut(&(name, label.to_owned())) {
+        Some(h) => h.merge(part),
+        None => {
+            st.hists.insert((name, label.to_owned()), part.clone());
+        }
+    }
 }
 
 pub(crate) fn add_counter(name: &'static str, label: &str, delta: u64) {
@@ -74,6 +109,16 @@ pub(crate) fn snapshot() -> Snapshot {
             .iter()
             .map(|(&n, &s)| (n.to_owned(), s))
             .collect(),
+        hists: st
+            .hists
+            .iter()
+            .map(|(&(n, ref l), h)| ((n.to_owned(), l.clone()), h.clone()))
+            .collect(),
+        span_ns: st
+            .span_ns
+            .iter()
+            .map(|(&n, h)| (n.to_owned(), h.clone()))
+            .collect(),
     }
 }
 
@@ -82,4 +127,6 @@ pub(crate) fn reset() {
     st.counters.clear();
     st.gauges.clear();
     st.spans.clear();
+    st.hists.clear();
+    st.span_ns.clear();
 }

@@ -47,15 +47,20 @@
 //! }
 //! ```
 
+pub mod alloc;
+pub mod diff;
 pub mod fnv;
+pub mod hist;
 pub mod json;
 pub mod manifest;
 mod snapshot;
 pub mod term;
+pub mod trace;
 
 #[cfg(feature = "obs")]
 mod collect;
 
+pub use hist::Histogram;
 pub use snapshot::{Snapshot, SpanStat};
 pub use term::{set_verbosity, verbosity, Verbosity};
 
@@ -67,19 +72,46 @@ pub const fn enabled() -> bool {
 }
 
 /// RAII guard returned by [`span`]: records the elapsed wall time under
-/// the span's name when dropped.
+/// the span's name when dropped (plus a timeline begin/end event pair
+/// when [`trace`] collection is on, and per-stage allocation deltas when
+/// the `obs-alloc` feature is on).
 #[must_use = "a span guard records nothing unless it is held to the end of the stage"]
 pub struct SpanGuard {
     #[cfg(feature = "obs")]
     name: &'static str,
     #[cfg(feature = "obs")]
     start: std::time::Instant,
+    /// Whether this guard emitted a Begin event (so the End stays
+    /// balanced even if tracing is toggled mid-span).
+    #[cfg(feature = "obs")]
+    traced: bool,
+    #[cfg(feature = "obs-alloc")]
+    alloc_start: alloc::AllocStats,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         #[cfg(feature = "obs")]
-        collect::record_span(self.name, self.start.elapsed());
+        {
+            collect::record_span(self.name, self.start.elapsed());
+            if self.traced {
+                trace::record(self.name, trace::Phase::End);
+            }
+        }
+        #[cfg(feature = "obs-alloc")]
+        {
+            let now = alloc::stats();
+            collect::add_counter(
+                "alloc.allocs",
+                self.name,
+                now.allocs.saturating_sub(self.alloc_start.allocs),
+            );
+            collect::add_counter(
+                "alloc.bytes",
+                self.name,
+                now.bytes.saturating_sub(self.alloc_start.bytes),
+            );
+        }
     }
 }
 
@@ -87,11 +119,21 @@ impl Drop for SpanGuard {
 /// it goes out of scope. Prefer the [`span!`] macro at call sites.
 pub fn span(name: &'static str) -> SpanGuard {
     let _ = name;
+    #[cfg(feature = "obs")]
+    let traced = trace::is_enabled();
+    #[cfg(feature = "obs")]
+    if traced {
+        trace::record(name, trace::Phase::Begin);
+    }
     SpanGuard {
         #[cfg(feature = "obs")]
         name,
         #[cfg(feature = "obs")]
         start: std::time::Instant::now(),
+        #[cfg(feature = "obs")]
+        traced,
+        #[cfg(feature = "obs-alloc")]
+        alloc_start: alloc::stats(),
     }
 }
 
@@ -141,6 +183,37 @@ pub fn gauge_set_labeled(name: &'static str, label: &str, value: u64) {
     #[cfg(not(feature = "obs"))]
     {
         let _ = (name, label, value);
+    }
+}
+
+/// Records one value into the unlabeled histogram `name`.
+///
+/// For per-record hot paths, accumulate into a local [`Histogram`]
+/// (guarded by [`enabled`]) and publish once with [`hist_merge`]
+/// instead — this function takes the collector lock per call.
+pub fn hist_record(name: &'static str, value: u64) {
+    hist_record_labeled(name, "", value);
+}
+
+/// Records one value into the histogram `name` under `label`.
+pub fn hist_record_labeled(name: &'static str, label: &str, value: u64) {
+    #[cfg(feature = "obs")]
+    collect::record_hist(name, label, value);
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (name, label, value);
+    }
+}
+
+/// Folds a locally accumulated histogram into the global histogram
+/// `name` under `label` (one lock acquisition per stage/chunk; merge
+/// order never matters, so per-worker parts stay schedule-independent).
+pub fn hist_merge(name: &'static str, label: &str, part: &Histogram) {
+    #[cfg(feature = "obs")]
+    collect::merge_hist(name, label, part);
+    #[cfg(not(feature = "obs"))]
+    {
+        let _ = (name, label, part);
     }
 }
 

@@ -3,7 +3,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use crate::json::JsonWriter;
+use crate::hist::Histogram;
+use crate::json::{self, JsonValue, JsonWriter};
 use crate::snapshot::{Snapshot, SpanStat};
 
 /// Everything a run self-reports: a flat metadata map (dataset
@@ -49,7 +50,9 @@ impl RunManifest {
     }
 
     /// Serializes the manifest as one JSON object:
-    /// `{"meta": {...}, "spans": [...], "counters": [...], "gauges": [...]}`.
+    /// `{"meta": {...}, "spans": [...], "counters": [...], "gauges": [...],
+    /// "hists": [...]}`. Spans carry per-invocation duration percentiles
+    /// (`p50_ns`/`p90_ns`/`p99_ns`) when the collector recorded them.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut w = JsonWriter::new();
@@ -66,6 +69,13 @@ impl RunManifest {
             w.u64("calls", stat.calls);
             w.u64("wall_ns", stat.wall_ns);
             w.f64("wall_ms", stat.wall_ms());
+            if let Some(h) = self.snapshot.span_ns.get(name) {
+                if let (Some(p50), Some(p90), Some(p99)) = (h.p50(), h.p90(), h.p99()) {
+                    w.u64("p50_ns", p50);
+                    w.u64("p90_ns", p90);
+                    w.u64("p99_ns", p99);
+                }
+            }
             w.end_object();
         }
         w.end_array();
@@ -91,8 +101,115 @@ impl RunManifest {
             w.end_object();
         }
         w.end_array();
+        w.begin_array(Some("hists"));
+        for ((name, label), h) in &self.snapshot.hists {
+            w.begin_object(None);
+            w.string("name", name);
+            if !label.is_empty() {
+                w.string("label", label);
+            }
+            w.u64("count", h.count());
+            w.u64("sum", h.sum());
+            if let (Some(p50), Some(p90), Some(p99)) = (h.p50(), h.p90(), h.p99()) {
+                w.u64("p50", p50);
+                w.u64("p90", p90);
+                w.u64("p99", p99);
+            }
+            w.begin_array(Some("buckets"));
+            for (i, n) in h.buckets() {
+                w.begin_object(None);
+                w.u64("i", u64::from(i));
+                w.u64("n", n);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
         w.end_object();
         w.finish()
+    }
+
+    /// Reconstructs a manifest from [`RunManifest::to_json`] output.
+    ///
+    /// Everything round-trips except span-duration histograms
+    /// (`snapshot.span_ns`): only their percentile *summaries* are
+    /// serialized, so the parsed manifest leaves that map empty. The
+    /// baseline diffing in [`crate::diff`] gates on spans, counters, and
+    /// data histograms, none of which need it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when `text` is not valid JSON or a required
+    /// field (`name`, `value`, ...) is missing or mistyped.
+    pub fn from_json(text: &str) -> Result<RunManifest, String> {
+        fn name_label(entry: &JsonValue) -> Result<(String, String), String> {
+            let name = entry
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("manifest entry missing \"name\"")?;
+            let label = entry
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("");
+            Ok((name.to_owned(), label.to_owned()))
+        }
+        fn field(entry: &JsonValue, key: &str) -> Result<u64, String> {
+            entry
+                .get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("manifest entry missing integer {key:?}"))
+        }
+
+        let root = json::parse(text)?;
+        let mut manifest = RunManifest::default();
+        if let Some(JsonValue::Obj(members)) = root.get("meta") {
+            for (k, v) in members {
+                if let Some(s) = v.as_str() {
+                    manifest.meta.insert(k.clone(), s.to_owned());
+                }
+            }
+        }
+        for span in root.get("spans").map(JsonValue::items).unwrap_or(&[]) {
+            let name = span
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or("span entry missing \"name\"")?;
+            manifest.snapshot.spans.insert(
+                name.to_owned(),
+                SpanStat {
+                    calls: field(span, "calls")?,
+                    wall_ns: field(span, "wall_ns")?,
+                },
+            );
+        }
+        for counter in root.get("counters").map(JsonValue::items).unwrap_or(&[]) {
+            let key = name_label(counter)?;
+            manifest.snapshot.counters.insert(key, field(counter, "value")?);
+        }
+        for gauge in root.get("gauges").map(JsonValue::items).unwrap_or(&[]) {
+            let key = name_label(gauge)?;
+            manifest.snapshot.gauges.insert(key, field(gauge, "value")?);
+        }
+        for hist in root.get("hists").map(JsonValue::items).unwrap_or(&[]) {
+            let key = name_label(hist)?;
+            let buckets = hist
+                .get("buckets")
+                .map(JsonValue::items)
+                .unwrap_or(&[])
+                .iter()
+                .map(|b| {
+                    let i = field(b, "i")?;
+                    let i = u16::try_from(i).map_err(|_| format!("bucket index {i} out of range"))?;
+                    Ok((i, field(b, "n")?))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            manifest.snapshot.hists.insert(
+                key,
+                Histogram::from_parts(field(hist, "count")?, field(hist, "sum")?, buckets),
+            );
+        }
+        Ok(manifest)
     }
 
     /// Renders the manifest as a human-readable stage tree: span names
@@ -166,6 +283,24 @@ impl RunManifest {
                 }
             }
         }
+        if !self.snapshot.hists.is_empty() {
+            out.push_str("histograms (p50/p90/p99 within 6.25% above the true order statistic):\n");
+            for ((name, label), h) in &self.snapshot.hists {
+                let key = if label.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{name}{{{label}}}")
+                };
+                out.push_str(&format!(
+                    "  {key}: n={} sum={} p50={} p90={} p99={}\n",
+                    h.count(),
+                    h.sum(),
+                    h.p50().unwrap_or(0),
+                    h.p90().unwrap_or(0),
+                    h.p99().unwrap_or(0),
+                ));
+            }
+        }
         if out.is_empty() {
             out.push_str("(no observability data collected — built without the `obs` feature?)\n");
         }
@@ -236,6 +371,43 @@ mod tests {
     fn empty_manifest_renders_placeholder() {
         let m = RunManifest::default();
         assert!(m.to_tree().contains("no observability data"));
-        assert_eq!(m.to_json(), r#"{"meta":{},"spans":[],"counters":[],"gauges":[]}"#);
+        assert_eq!(
+            m.to_json(),
+            r#"{"meta":{},"spans":[],"counters":[],"gauges":[],"hists":[]}"#
+        );
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let mut m = sample();
+        let mut h = Histogram::new();
+        for v in [3u64, 700, 700, 65_536] {
+            h.record(v);
+        }
+        m.snapshot.hists.insert(("store.row_bytes".into(), "jobs".into()), h);
+        let mut dur = Histogram::new();
+        dur.record(2_500_000);
+        m.snapshot.span_ns.insert("analysis.run".into(), dur);
+
+        let parsed = RunManifest::from_json(&m.to_json()).expect("round trip");
+        assert_eq!(parsed.meta, m.meta);
+        assert_eq!(parsed.snapshot.spans, m.snapshot.spans);
+        assert_eq!(parsed.snapshot.counters, m.snapshot.counters);
+        assert_eq!(parsed.snapshot.gauges, m.snapshot.gauges);
+        assert_eq!(parsed.snapshot.hists, m.snapshot.hists);
+        // Span-duration histograms do not round-trip (summaries only).
+        assert!(parsed.snapshot.span_ns.is_empty());
+        // But their percentiles are present in the serialized form.
+        let p50 = m.snapshot.span_ns["analysis.run"].p50().unwrap();
+        assert!(m.to_json().contains(&format!(r#""p50_ns":{p50}"#)));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(RunManifest::from_json("not json").is_err());
+        assert!(RunManifest::from_json(r#"{"spans":[{"calls":1}]}"#).is_err());
+        assert!(RunManifest::from_json(r#"{"counters":[{"name":"x"}]}"#).is_err());
+        let empty = RunManifest::from_json("{}").expect("missing sections are fine");
+        assert!(empty.snapshot.is_empty());
     }
 }

@@ -2,6 +2,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::hist::Histogram;
+
 /// Aggregate statistics for one span name.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStat {
@@ -41,6 +43,12 @@ pub struct Snapshot {
     pub gauges: BTreeMap<(String, String), u64>,
     /// Span aggregates keyed by span name.
     pub spans: BTreeMap<String, SpanStat>,
+    /// Data histograms (`hist_record`/`hist_merge`). Like the counters,
+    /// these hold record-flow *data* values and are schedule-independent.
+    pub hists: BTreeMap<(String, String), Histogram>,
+    /// Per-invocation span durations in nanoseconds, keyed by span name.
+    /// Counts are schedule-independent; sums (wall time) are not.
+    pub span_ns: BTreeMap<String, Histogram>,
 }
 
 impl Snapshot {
@@ -65,10 +73,34 @@ impl Snapshot {
                 (d.calls > 0 || d.wall_ns > 0).then(|| (k.clone(), d))
             })
             .collect();
+        let hists = self
+            .hists
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = match earlier.hists.get(k) {
+                    Some(e) => v.saturating_sub(e),
+                    None => v.clone(),
+                };
+                (!d.is_empty()).then(|| (k.clone(), d))
+            })
+            .collect();
+        let span_ns = self
+            .span_ns
+            .iter()
+            .filter_map(|(k, v)| {
+                let d = match earlier.span_ns.get(k) {
+                    Some(e) => v.saturating_sub(e),
+                    None => v.clone(),
+                };
+                (!d.is_empty()).then(|| (k.clone(), d))
+            })
+            .collect();
         Snapshot {
             counters,
             gauges: self.gauges.clone(),
             spans,
+            hists,
+            span_ns,
         }
     }
 
@@ -97,10 +129,26 @@ impl Snapshot {
         self.spans.get(name).map_or(0, |s| s.wall_ns)
     }
 
+    /// The data histogram `name` under `label`, if recorded.
+    #[must_use]
+    pub fn hist(&self, name: &str, label: &str) -> Option<&Histogram> {
+        self.hists.get(&(name.to_owned(), label.to_owned()))
+    }
+
+    /// The per-invocation duration histogram of span `name`, if any.
+    #[must_use]
+    pub fn span_hist(&self, name: &str) -> Option<&Histogram> {
+        self.span_ns.get(name)
+    }
+
     /// `true` when nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.gauges.is_empty() && self.spans.is_empty()
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.hists.is_empty()
+            && self.span_ns.is_empty()
     }
 }
 
@@ -134,6 +182,24 @@ mod tests {
         assert_eq!(d.gauges[&("g".to_owned(), String::new())], 7);
         assert!(d.spans.is_empty(), "unchanged span must drop out of the diff");
         assert_eq!(d.counter_total("a") + d.counter_total("b"), 7);
+    }
+
+    #[test]
+    fn since_subtracts_histograms() {
+        let mut early = Snapshot::default();
+        let mut h = Histogram::new();
+        h.record(10);
+        early.hists.insert(("rows".into(), "jobs".into()), h.clone());
+        early.span_ns.insert("stage".into(), h.clone());
+        let mut late = early.clone();
+        late.hists.get_mut(&("rows".to_owned(), "jobs".to_owned())).unwrap().record(500);
+        late.hists.insert(("fresh".into(), String::new()), h.clone());
+        let d = late.since(&early);
+        let rows = d.hist("rows", "jobs").expect("changed hist kept");
+        assert_eq!((rows.count(), rows.sum()), (1, 500));
+        assert_eq!(d.hist("fresh", "").unwrap().count(), 1);
+        assert!(d.span_hist("stage").is_none(), "unchanged span hist must drop out");
+        assert!(!d.is_empty());
     }
 
     #[test]

@@ -54,6 +54,25 @@ pub fn log(level: Verbosity, args: std::fmt::Arguments<'_>) {
     let _ = writeln!(stderr, "{prefix}{args}");
 }
 
+/// Writes one error line to stderr, regardless of verbosity. Prefer the
+/// [`crate::error!`] macro.
+pub fn log_error(args: std::fmt::Arguments<'_>) {
+    use std::io::Write;
+    let mut stderr = std::io::stderr().lock();
+    // A closed stderr pipe is the consumer's choice; never panic on it.
+    let _ = writeln!(stderr, "error: {args}");
+}
+
+/// Logs an error to stderr. Never suppressed: `--quiet` silences
+/// progress and warnings, but an error is the one diagnostic a
+/// machine-clean consumer still needs to see.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::term::log_error(format_args!($($arg)*))
+    };
+}
+
 /// Logs a warning to stderr (suppressed by `--quiet`).
 #[macro_export]
 macro_rules! warn {

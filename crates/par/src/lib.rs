@@ -24,6 +24,48 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// override" (use the machine's available parallelism).
 static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Hook run at the end of every spawned worker closure, while the
+/// worker thread is still inside the scope. Stored as a `usize`-encoded
+/// fn pointer so the static stays const-initializable (`0` = none).
+static WORKER_EPILOGUE: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs `hook` to run at the tail of every worker closure this
+/// crate spawns, before the scope joins the worker.
+///
+/// This exists for telemetry that buffers in thread-local storage:
+/// `std::thread::scope` guarantees worker *closures* finish before the
+/// scope returns, but **not** that their TLS destructors have run — so a
+/// destructor-based flush can race with the caller reading the flushed
+/// data. An epilogue runs inside the closure, on the worker thread,
+/// strictly before the scope returns. `bgq-cli` installs
+/// `bgq_obs::trace::flush_thread` here; this crate stays
+/// dependency-free and never installs anything itself.
+///
+/// The hook is process-global and must be idempotent and cheap; it does
+/// not run for the sequential (single-worker) fast paths, which execute
+/// on the caller's thread where no flush is needed.
+pub fn set_worker_epilogue(hook: fn()) {
+    WORKER_EPILOGUE.store(hook as usize, Ordering::SeqCst);
+}
+
+/// Runs the installed worker epilogue, if any.
+fn run_worker_epilogue() {
+    let raw = WORKER_EPILOGUE.load(Ordering::SeqCst);
+    if raw != 0 {
+        // SAFETY: the only nonzero values ever stored are `fn()`
+        // pointers provided to `set_worker_epilogue`.
+        let hook: fn() = unsafe { std::mem::transmute::<usize, fn()>(raw) };
+        hook();
+    }
+}
+
+/// Runs `f` and then the worker epilogue on the same (worker) thread.
+fn with_epilogue<R>(f: impl FnOnce() -> R) -> R {
+    let result = f();
+    run_worker_epilogue();
+    result
+}
+
 /// Number of worker threads a combinator may use for `n` items.
 fn workers_for(n: usize) -> usize {
     if cfg!(not(feature = "parallel")) || n < 2 {
@@ -88,11 +130,13 @@ pub fn par_map_indexed<T: Sync, R: Send>(
             .map(|(c, slice)| {
                 let f = &f;
                 s.spawn(move || {
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(i, x)| f(c * chunk + i, x))
-                        .collect::<Vec<R>>()
+                    with_epilogue(|| {
+                        slice
+                            .iter()
+                            .enumerate()
+                            .map(|(i, x)| f(c * chunk + i, x))
+                            .collect::<Vec<R>>()
+                    })
                 })
             })
             .collect();
@@ -121,7 +165,7 @@ pub fn par_map_range<R: Send>(n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R>
             .map(|start| {
                 let f = &f;
                 let end = (start + chunk).min(n);
-                s.spawn(move || (start..end).map(f).collect::<Vec<R>>())
+                s.spawn(move || with_epilogue(|| (start..end).map(f).collect::<Vec<R>>()))
             })
             .collect();
         for h in handles {
@@ -165,7 +209,7 @@ where
             .enumerate()
             .map(|(c, slice)| {
                 let chunk_map = &chunk_map;
-                s.spawn(move || chunk_map(c * chunk, slice))
+                s.spawn(move || with_epilogue(|| chunk_map(c * chunk, slice)))
             })
             .collect();
         for h in handles {
@@ -190,7 +234,7 @@ pub fn join<RA: Send, RB: Send>(
         return (ra, rb);
     }
     std::thread::scope(|s| {
-        let hb = s.spawn(b);
+        let hb = s.spawn(|| with_epilogue(b));
         let ra = a();
         (ra, hb.join().expect("worker panicked"))
     })
@@ -266,6 +310,28 @@ mod tests {
     fn empty_inputs_are_fine() {
         assert!(par_map(&[] as &[u8], |x| *x).is_empty());
         assert!(par_map_range(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn worker_epilogue_runs_on_each_worker() {
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        fn bump() {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+        }
+        set_worker_epilogue(bump);
+        let before = CALLS.load(Ordering::SeqCst);
+        let items: Vec<u64> = (0..10_000).collect();
+        let _ = par_map(&items, |x| x + 1);
+        let after = CALLS.load(Ordering::SeqCst);
+        set_worker_epilogue(|| {});
+        if is_parallel() {
+            // One epilogue per spawned worker; the exact count depends
+            // on the machine's parallelism, but there must be some.
+            assert!(after > before, "epilogue never ran");
+        } else {
+            // Sequential fast path runs on the caller: no epilogue.
+            assert_eq!(after, before);
+        }
     }
 
     #[test]

@@ -156,7 +156,7 @@ fn golden_headline_fields_match_the_committed_fixture() {
         let path = std::path::Path::new(FIXTURE);
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
         std::fs::write(path, &got).unwrap();
-        eprintln!("golden fixture rewritten: {FIXTURE}");
+        bgq_obs::info!("golden fixture rewritten: {FIXTURE}");
         return;
     }
     let want = std::fs::read_to_string(FIXTURE).unwrap_or_else(|e| {

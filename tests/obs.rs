@@ -152,6 +152,149 @@ fn every_analysis_stage_records_wall_time() {
 }
 
 #[test]
+#[cfg(feature = "obs")]
+fn data_histograms_are_schedule_independent() {
+    let _l = lock();
+    let (_, d8) = instrumented_run(8);
+    let (_, d1) = instrumented_run(1);
+    // Data histograms are merged bucket-wise, so any worker schedule
+    // yields byte-identical distributions …
+    assert!(!d8.hists.is_empty(), "pipeline published no data histograms");
+    assert_eq!(d8.hists, d1.hists, "data histograms depend on the schedule");
+    // … while span-duration histograms agree in *counts* only (the
+    // durations themselves are wall-clock noise).
+    let counts = |d: &bgq_obs::Snapshot| -> Vec<(String, u64)> {
+        d.span_ns.iter().map(|(k, h)| (k.clone(), h.count())).collect()
+    };
+    assert_eq!(counts(&d8), counts(&d1), "span invocation counts depend on the schedule");
+    for name in ["join.candidates_per_event", "filter.cluster_size"] {
+        assert!(
+            d8.hist(name, "").is_some(),
+            "pipeline should publish {name}"
+        );
+    }
+}
+
+/// Deterministic pseudo-random values spanning the exact region, several
+/// octaves, and heavy tails.
+#[cfg(feature = "obs")]
+fn synthetic_values(seed: u64, n: usize) -> Vec<u64> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => next() % 32,            // exact buckets
+            1 => next() % 4_096,         // a few octaves up
+            2 => next() % 1_000_000,     // mid range
+            _ => next() % 40_000_000_000, // far tail
+        })
+        .collect()
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn histogram_quantiles_track_the_oracle_within_bucket_error() {
+    use bgq_obs::hist::MAX_RELATIVE_ERROR;
+    // The histogram quantile is nearest-rank snapped to its bucket's
+    // upper bound: it can sit above the true order statistic by at most
+    // MAX_RELATIVE_ERROR (6.25%). The oracle's type-7 quantile
+    // interpolates between the two order statistics adjacent to
+    // (n-1)·q, so the histogram answer must land inside that bracket
+    // widened by the bucket error.
+    for seed in [7u64, 99, 12345] {
+        for n in [1usize, 2, 17, 500, 4096] {
+            let values = synthetic_values(seed, n);
+            let mut h = bgq_obs::Histogram::new();
+            let mut sorted = values.clone();
+            for &v in &values {
+                h.record(v);
+            }
+            sorted.sort_unstable();
+            let as_f64: Vec<f64> = sorted.iter().map(|&v| v as f64).collect();
+            for q in [0.5, 0.9, 0.99] {
+                let got = h.quantile(q).unwrap() as f64;
+                let t7 = bgq_oracle::ranking::quantile_type7(&as_f64, q).unwrap();
+                let j = ((n - 1) as f64 * q).floor() as usize;
+                let (lo, hi) = (as_f64[j], as_f64[(j + 1).min(n - 1)]);
+                assert!(
+                    (lo..=hi).contains(&t7),
+                    "type-7 left its own bracket: {t7} not in [{lo}, {hi}]"
+                );
+                assert!(
+                    got >= lo && got <= hi * (1.0 + MAX_RELATIVE_ERROR) + 1.0,
+                    "hist q{q} = {got} outside oracle bracket [{lo}, {hi}] \
+                     (seed {seed}, n {n}, type-7 {t7})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn histogram_merge_equals_single_pass_recording() {
+    let values = synthetic_values(3, 10_000);
+    let mut whole = bgq_obs::Histogram::new();
+    for &v in &values {
+        whole.record(v);
+    }
+    // Any chunking of the data merges back to the identical histogram —
+    // the property the parallel pipeline relies on.
+    for chunk_size in [1usize, 7, 1024, 10_000] {
+        let mut merged = bgq_obs::Histogram::new();
+        for chunk in values.chunks(chunk_size) {
+            let mut part = bgq_obs::Histogram::new();
+            for &v in chunk {
+                part.record(v);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged, whole, "chunk size {chunk_size}");
+    }
+}
+
+#[test]
+#[cfg(feature = "obs")]
+fn trace_event_counts_are_schedule_independent() {
+    let _l = lock();
+    use std::collections::BTreeMap;
+    // The worker epilogue is what flushes scoped workers' buffers before
+    // `std::thread::scope` returns; without it events would race TLS
+    // destruction (see bgq_obs::trace docs).
+    bgq_par::set_worker_epilogue(bgq_obs::trace::flush_thread);
+    let mut runs: Vec<BTreeMap<(&str, bool), usize>> = Vec::new();
+    for threads in [8usize, 1] {
+        let _ = bgq_obs::trace::take();
+        bgq_obs::trace::enable();
+        let _ = instrumented_run(threads);
+        bgq_obs::trace::disable();
+        let events = bgq_obs::trace::take();
+        let mut counts: BTreeMap<(&str, bool), usize> = BTreeMap::new();
+        for ev in &events {
+            *counts
+                .entry((ev.name, ev.phase == bgq_obs::trace::Phase::Begin))
+                .or_default() += 1;
+        }
+        assert!(!counts.is_empty(), "tracing collected nothing");
+        // Begin/end events pair up exactly: spans are RAII guards.
+        for (&(name, is_begin), &n) in &counts {
+            if is_begin {
+                assert_eq!(
+                    counts.get(&(name, false)),
+                    Some(&n),
+                    "unbalanced begin/end for {name}"
+                );
+            }
+        }
+        runs.push(counts);
+    }
+    assert_eq!(runs[0], runs[1], "per-name trace-event counts depend on the schedule");
+}
+
+#[test]
 #[cfg(not(feature = "obs"))]
 fn disabled_obs_collects_nothing() {
     let (_, delta) = instrumented_run(4);
