@@ -1,0 +1,66 @@
+//! Snapshot-store benchmarks on the standard 30-day dataset: the cold
+//! CSV ingestion path against the warm columnar reload, the snapshot
+//! write itself, and the partitioned index build against the
+//! monolithic one.
+//!
+//! The headline scale numbers (365/2001 days, speedup floor) live in
+//! `src/bin/bench_scale.rs`; this bench exists so ordinary `cargo
+//! bench` runs catch snapshot-path regressions at a size that finishes
+//! in seconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bgq_core::filtering::FilterConfig;
+use bgq_core::index::DatasetIndex;
+use bgq_logs::snapshot;
+use bgq_logs::store::{Dataset, SourceAvailability};
+use bgq_sim::{generate, SimConfig};
+
+fn bench_snapshot(c: &mut Criterion) {
+    let ds = generate(&SimConfig::small(30).with_seed(5)).dataset;
+    let root = std::env::temp_dir().join(format!("mira-snap-bench-{}", std::process::id()));
+    let csv_dir = root.join("csv");
+    let snap_dir = root.join("snap");
+    ds.save_dir(&csv_dir).expect("save CSV");
+    snapshot::write_dir(&ds, &snap_dir, &SourceAvailability::ALL).expect("write snapshot");
+
+    let mut group = c.benchmark_group("snapshot_load");
+    group.sample_size(10);
+    group.bench_function("csv_cold", |b| {
+        b.iter(|| black_box(Dataset::load_dir(&csv_dir).expect("load CSV")));
+    });
+    group.bench_function("snapshot_warm", |b| {
+        b.iter(|| black_box(snapshot::read_dir(&snap_dir).expect("load snapshot")));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("snapshot_write");
+    group.sample_size(10);
+    group.bench_function("write_dir", |b| {
+        b.iter(|| {
+            black_box(
+                snapshot::write_dir(&ds, &snap_dir, &SourceAvailability::ALL)
+                    .expect("write snapshot"),
+            )
+        });
+    });
+    group.finish();
+
+    let (loaded, parts) = snapshot::read_dir(&snap_dir).expect("load snapshot");
+    let config = FilterConfig::default();
+    let mut group = c.benchmark_group("snapshot_index");
+    group.sample_size(10);
+    group.bench_function("monolithic", |b| {
+        b.iter(|| black_box(DatasetIndex::build_with(&loaded, &config)));
+    });
+    group.bench_function("partitioned", |b| {
+        b.iter(|| black_box(DatasetIndex::build_partitioned(&loaded, &parts, &config)));
+    });
+    group.finish();
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

@@ -1,0 +1,261 @@
+//! Scale benchmark: cold CSV ingestion vs warm snapshot reload at
+//! 30, 365, and 2001 simulated days, plus the full analysis over the
+//! largest trace.
+//!
+//! This is the acceptance harness for the partitioned columnar snapshot
+//! store: `scripts/bench_scale.sh` captures the emitted JSON into the
+//! committed `BENCH_scale.json` and enforces the warm-vs-cold speedup
+//! floor at 365 days and above; the 2001-day analyze must complete.
+//!
+//! **Cold** means what an operator's first `mira-mine analyze` pays: a
+//! fresh process (empty intern pools, cold allocator) parsing the CSV
+//! archive once — measured by re-executing this binary in load-once
+//! child mode. **Warm** is the steady state a long-lived analysis
+//! session sees: repeated in-process reloads after a warm-up load.
+//! Both cold numbers (CSV and snapshot) and both warm numbers are
+//! reported so the headline `load_speedup = cold_csv / warm_snapshot`
+//! can be cross-checked against the cold-vs-cold and warm-vs-warm
+//! ratios.
+//!
+//! Emits one JSON document on stdout (progress goes to stderr).
+//!
+//! Knobs:
+//! * `BGQ_BENCH_FAST=1` — CI smoke mode: tiny scales (10/30 days), one
+//!   timing iteration, no floor-worthy numbers (the script skips the
+//!   floor check in fast mode).
+//! * `BGQ_BENCH_SCALE_ITERS` — timing iterations per measurement
+//!   (default 3; the median is reported).
+//! * `BGQ_BENCH_SCALE_DAYS` — comma-separated day scales overriding the
+//!   default ladder (e.g. `BGQ_BENCH_SCALE_DAYS=365`).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use bgq_core::analysis::Analysis;
+use bgq_logs::snapshot;
+use bgq_logs::store::{Dataset, SourceAvailability};
+use bgq_sim::{generate, SimConfig};
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median of `iters` runs of `f` (each run's result is discarded; `f`
+/// must be a pure measurement closure).
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            ms(t)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0)
+}
+
+/// Loads `dir` once in this (fresh) process and prints milliseconds;
+/// the parent measures cold paths through this to keep intern pools and
+/// allocator state genuinely cold.
+fn load_once(kind: &str, dir: &Path) {
+    let t = Instant::now();
+    match kind {
+        "csv" => {
+            std::hint::black_box(Dataset::load_dir(dir).expect("load CSV"));
+        }
+        "snapshot" => {
+            std::hint::black_box(snapshot::read_dir(dir).expect("load snapshot"));
+        }
+        other => panic!("unknown load-once kind {other:?}"),
+    }
+    println!("{}", ms(t));
+}
+
+/// Median over `iters` fresh-process loads of `dir`.
+fn median_cold_ms(kind: &str, dir: &Path, iters: usize) -> f64 {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let out = std::process::Command::new(&exe)
+                .args(["--load-once", kind])
+                .arg(dir)
+                .output()
+                .expect("spawn load-once child");
+            assert!(out.status.success(), "load-once child failed: {out:?}");
+            String::from_utf8_lossy(&out.stdout)
+                .trim()
+                .parse()
+                .expect("load-once child printed a number")
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+struct ScaleResult {
+    days: u32,
+    jobs: usize,
+    ras: usize,
+    csv_bytes: u64,
+    snapshot_bytes: u64,
+    gen_ms: f64,
+    snapshot_write_ms: f64,
+    cold_csv_load_ms: f64,
+    cold_snapshot_load_ms: f64,
+    warm_csv_load_ms: f64,
+    warm_snapshot_load_ms: f64,
+    load_speedup: f64,
+    analyze_ms: f64,
+    analyze_partitioned_ms: f64,
+}
+
+fn run_scale(days: u32, iters: usize, root: &Path) -> ScaleResult {
+    eprintln!("[bench_scale] {days} days: generating ...");
+    let config = SimConfig {
+        days,
+        ..SimConfig::mira_2k_days()
+    };
+    let t = Instant::now();
+    let ds = generate(&config).dataset;
+    let gen_ms = ms(t);
+    eprintln!(
+        "[bench_scale] {days} days: {} jobs, {} RAS events ({gen_ms:.0} ms)",
+        ds.jobs.len(),
+        ds.ras.len()
+    );
+
+    let csv_dir = root.join(format!("csv-{days}"));
+    let snap_dir = root.join(format!("snap-{days}"));
+    ds.save_dir(&csv_dir).expect("save CSV");
+    let t = Instant::now();
+    snapshot::write_dir(&ds, &snap_dir, &SourceAvailability::ALL).expect("write snapshot");
+    let snapshot_write_ms = ms(t);
+
+    eprintln!("[bench_scale] {days} days: timing cold loads, fresh process each ({iters} iters) ...");
+    let cold_csv_load_ms = median_cold_ms("csv", &csv_dir, iters);
+    let cold_snapshot_load_ms = median_cold_ms("snapshot", &snap_dir, iters);
+
+    eprintln!("[bench_scale] {days} days: timing warm loads, in-process ({iters} iters) ...");
+    // Warm up both paths (populates the process-wide intern pools and
+    // the page cache) before taking steady-state samples.
+    std::hint::black_box(Dataset::load_dir(&csv_dir).expect("load CSV"));
+    std::hint::black_box(snapshot::read_dir(&snap_dir).expect("load snapshot"));
+    let warm_csv_load_ms = median_ms(iters, || {
+        std::hint::black_box(Dataset::load_dir(&csv_dir).expect("load CSV"));
+    });
+    let warm_snapshot_load_ms = median_ms(iters, || {
+        std::hint::black_box(snapshot::read_dir(&snap_dir).expect("load snapshot"));
+    });
+
+    let (loaded, parts) = snapshot::read_dir(&snap_dir).expect("load snapshot");
+    eprintln!("[bench_scale] {days} days: timing analysis ...");
+    let avail = SourceAvailability::ALL;
+    let analyze_ms = median_ms(iters, || {
+        std::hint::black_box(Analysis::run_degraded(&loaded, &avail));
+    });
+    let analyze_partitioned_ms = median_ms(iters, || {
+        std::hint::black_box(Analysis::run_degraded_partitioned(&loaded, &avail, &parts));
+    });
+
+    let result = ScaleResult {
+        days,
+        jobs: loaded.jobs.len(),
+        ras: loaded.ras.len(),
+        csv_bytes: dir_bytes(&csv_dir),
+        snapshot_bytes: dir_bytes(&snap_dir),
+        gen_ms,
+        snapshot_write_ms,
+        cold_csv_load_ms,
+        cold_snapshot_load_ms,
+        warm_csv_load_ms,
+        warm_snapshot_load_ms,
+        load_speedup: cold_csv_load_ms / warm_snapshot_load_ms,
+        analyze_ms,
+        analyze_partitioned_ms,
+    };
+    std::fs::remove_dir_all(&csv_dir).ok();
+    std::fs::remove_dir_all(&snap_dir).ok();
+    result
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--load-once" {
+        load_once(&args[2], Path::new(&args[3]));
+        return;
+    }
+    let fast = std::env::var_os("BGQ_BENCH_FAST").is_some();
+    let iters: usize = std::env::var("BGQ_BENCH_SCALE_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let scales: Vec<u32> = match std::env::var("BGQ_BENCH_SCALE_DAYS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("BGQ_BENCH_SCALE_DAYS: bad day count"))
+            .collect(),
+        Err(_) if fast => vec![10, 30],
+        Err(_) => vec![30, 365, 2001],
+    };
+
+    let root: PathBuf =
+        std::env::temp_dir().join(format!("bgq-bench-scale-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("bench scratch dir");
+
+    let results: Vec<ScaleResult> = scales.iter().map(|&d| run_scale(d, iters, &root)).collect();
+    std::fs::remove_dir_all(&root).ok();
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"BENCH_scale\",\n");
+    out.push_str(
+        "  \"workload\": \"SimConfig::mira_2k_days() truncated to each scale; \
+         cold = first load in a fresh process (empty intern pools), \
+         warm = steady-state in-process reload; \
+         load_speedup = cold_csv_load_ms / warm_snapshot_load_ms\",\n",
+    );
+    out.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    out.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"days\": {}, \"jobs\": {}, \"ras_events\": {}, \
+             \"csv_bytes\": {}, \"snapshot_bytes\": {}, \
+             \"gen_ms\": {:.1}, \"snapshot_write_ms\": {:.1}, \
+             \"cold_csv_load_ms\": {:.1}, \"cold_snapshot_load_ms\": {:.1}, \
+             \"warm_csv_load_ms\": {:.1}, \"warm_snapshot_load_ms\": {:.1}, \
+             \"load_speedup\": {:.1}, \
+             \"analyze_ms\": {:.1}, \"analyze_partitioned_ms\": {:.1}}}{}\n",
+            r.days,
+            r.jobs,
+            r.ras,
+            r.csv_bytes,
+            r.snapshot_bytes,
+            r.gen_ms,
+            r.snapshot_write_ms,
+            r.cold_csv_load_ms,
+            r.cold_snapshot_load_ms,
+            r.warm_csv_load_ms,
+            r.warm_snapshot_load_ms,
+            r.load_speedup,
+            r.analyze_ms,
+            r.analyze_partitioned_ms,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

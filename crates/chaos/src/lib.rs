@@ -15,6 +15,10 @@
 //!   implements [`bgq_logs::store::TableSource`] with a per-table fault
 //!   schedule (transient faults clear after N opens; permanent ones
 //!   never do), exercising the store's retry and quarantine paths.
+//! * [`segment`] — the same ledger-exact discipline over the binary
+//!   snapshot store: [`corrupt_segment`](segment::corrupt_segment)
+//!   attacks one columnar segment (envelope or rows) and predicts the
+//!   exact [`SegmentFate`](segment::SegmentFate) the loader must report.
 //!
 //! The crate is deliberately zero-dependency beyond `bgq-logs` (for the
 //! `TableSource` trait): determinism comes from a local SplitMix64, not
@@ -26,6 +30,7 @@
 pub mod corrupt;
 pub mod fault;
 pub mod rng;
+pub mod segment;
 
 pub use corrupt::{
     corrupt_table, plan_for_seed, ChaosLedger, CorruptionMode, RowFate, TableLedger, ALL_MODES,
@@ -33,3 +38,6 @@ pub use corrupt::{
 };
 pub use fault::{FaultDir, FaultRead, FaultSpec};
 pub use rng::SplitMix64;
+pub use segment::{
+    corrupt_segment, SegmentCorruption, SegmentFate, SegmentLedger, ALL_SEGMENT_MODES,
+};

@@ -11,10 +11,11 @@ use bgq_core::filtering::FilterConfig;
 use bgq_core::index::DatasetIndex;
 use bgq_core::report::{group_thousands, percent, Align, Table};
 use bgq_core::takeaways::takeaways;
+use bgq_logs::snapshot::{self, PartitionMap};
 use bgq_logs::store::{Dataset, LoadOptions, SourceAvailability};
 use bgq_model::{Severity, Span};
 use bgq_obs::manifest::RunManifest;
-use bgq_sim::{generate, SimConfig};
+use bgq_sim::{generate, generate_to_snapshot, SimConfig};
 
 /// Errors surfaced to the user (exit code 1, message on stderr).
 #[derive(Debug)]
@@ -23,6 +24,8 @@ pub enum CliError {
     Usage(String),
     /// Dataset load/save failure.
     Store(bgq_logs::store::StoreError),
+    /// Snapshot read/write failure.
+    Snapshot(snapshot::SnapshotError),
     /// `--metrics` manifest could not be written.
     Metrics {
         /// Destination the manifest was headed for.
@@ -56,6 +59,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Store(e) => write!(f, "dataset error: {e}"),
+            CliError::Snapshot(e) => write!(f, "snapshot error: {e}"),
             CliError::Metrics { path, source } => {
                 write!(f, "failed writing metrics to {}: {source}", path.display())
             }
@@ -84,6 +88,12 @@ impl From<bgq_logs::store::StoreError> for CliError {
     }
 }
 
+impl From<snapshot::SnapshotError> for CliError {
+    fn from(e: snapshot::SnapshotError) -> Self {
+        CliError::Snapshot(e)
+    }
+}
+
 /// Usage text shown by `help` and on argument errors.
 pub const USAGE: &str = "\
 mira-mine — Mira BG/Q failure-mining toolkit (DSN 2019 reproduction)
@@ -105,15 +115,25 @@ GLOBAL FLAGS (valid before or after any command):
                          and the analysis stages they feed
 
 USAGE:
-  mira-mine gen --out DIR [--days N] [--seed S] [--full]
+  mira-mine gen --out DIR [--days N] [--seed S] [--full] [--snapshot]
       Generate a synthetic Mira trace into DIR (jobs/ras/tasks/io CSVs).
-      --days N   horizon in days (default 60)
-      --seed S   RNG seed (default 1)
-      --full     use the full 2001-day Mira configuration (overrides --days
-                 unless --days is also given)
+      --days N    horizon in days (default 60)
+      --seed S    RNG seed (default 1)
+      --full      use the full 2001-day Mira configuration (overrides --days
+                  unless --days is also given)
+      --snapshot  emit a partitioned columnar snapshot instead of CSVs
+                  (one binary segment per day per table; loads ~instantly)
+
+  mira-mine import SRC DEST
+      Load a CSV trace from SRC and write it as a partitioned columnar
+      snapshot into DEST. Honors --max-reject-ratio / --degraded; a table
+      quarantined at load time is recorded as unavailable in the snapshot
+      manifest rather than silently written empty.
 
   mira-mine analyze DIR
-      Load a trace from DIR and print the characterization tables.
+      Load a trace from DIR and print the characterization tables. DIR may
+      hold CSVs or a snapshot (detected by its MANIFEST); every other
+      command that reads a trace auto-detects the format the same way.
 
   mira-mine report DIR
       Load a trace from DIR and print the 22 re-derived takeaways.
@@ -260,6 +280,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let before = bgq_obs::snapshot();
     let result = match rest.first().map(String::as_str) {
         Some("gen") => cmd_gen(&rest[1..]),
+        Some("import") => cmd_import(&rest[1..], &opts),
         Some("analyze") => cmd_analyze(&rest[1..], &opts),
         Some("report") => cmd_report(&rest[1..], &opts),
         Some("filter") => cmd_filter(&rest[1..], &opts),
@@ -382,16 +403,52 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         config.days = d;
     }
     config = config.with_seed(seed);
-    let output = generate(&config);
-    output.dataset.save_dir(&out_dir)?;
-    Ok(format!(
+    let (output, snapshot_stats) = if args.iter().any(|a| a == "--snapshot") {
+        let (output, stats) = generate_to_snapshot(&config, &out_dir)?;
+        (output, Some(stats))
+    } else {
+        let output = generate(&config);
+        output.dataset.save_dir(&out_dir)?;
+        (output, None)
+    };
+    let mut out = format!(
         "wrote {} jobs, {} RAS events, {} tasks, {} I/O profiles to {}",
         group_thousands(output.dataset.jobs.len() as u64),
         group_thousands(output.dataset.ras.len() as u64),
         group_thousands(output.dataset.tasks.len() as u64),
         group_thousands(output.dataset.io.len() as u64),
         out_dir.display()
-    ))
+    );
+    if let Some(stats) = snapshot_stats {
+        out.push_str(&format!(
+            " ({} snapshot segments over {} days, {} bytes)",
+            stats.segments,
+            stats.days,
+            group_thousands(stats.bytes)
+        ));
+    }
+    Ok(out)
+}
+
+/// `import SRC DEST`: re-encodes a trace as a partitioned snapshot.
+fn cmd_import(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    let mut dirs = args.iter().filter(|a| !a.starts_with("--"));
+    let (src, dest) = match (dirs.next(), dirs.next(), dirs.next()) {
+        (Some(s), Some(d), None) => (PathBuf::from(s), PathBuf::from(d)),
+        _ => return Err(CliError::Usage("import requires SRC and DEST directories".into())),
+    };
+    let (ds, avail, _) = load_dataset(&src, opts)?;
+    let stats = snapshot::write_dir(&ds, &dest, &avail)?;
+    let mut out = degraded_banner(&avail);
+    out.push_str(&format!(
+        "imported {} -> {}: {} segments over {} days, {} bytes",
+        src.display(),
+        dest.display(),
+        stats.segments,
+        stats.days,
+        group_thousands(stats.bytes)
+    ));
+    Ok(out)
 }
 
 /// The first positional argument, skipping flags and their values.
@@ -407,7 +464,12 @@ fn positional<'a>(args: &'a [String], value_flags: &[&str]) -> Option<&'a String
     None
 }
 
-fn load(args: &[String], opts: &GlobalOpts) -> Result<(Dataset, SourceAvailability), CliError> {
+/// What `load_dataset` hands every command: the dataset, what survived
+/// loading, and — for snapshot sources — the day-partition map enabling
+/// the partitioned index build.
+type LoadedDataset = (Dataset, SourceAvailability, Option<PartitionMap>);
+
+fn load(args: &[String], opts: &GlobalOpts) -> Result<LoadedDataset, CliError> {
     let dir = positional(args, &["--gap-mins", "--window-hours", "--window-days"])
         .ok_or_else(|| CliError::Usage("missing dataset directory".into()))?;
     load_dataset(Path::new(dir), opts)
@@ -419,7 +481,22 @@ fn load(args: &[String], opts: &GlobalOpts) -> Result<(Dataset, SourceAvailabili
 /// `--degraded` was given (a missing or over-damaged table is quarantined
 /// and reported via the returned [`SourceAvailability`] instead of
 /// failing the run).
-fn load_dataset(dir: &Path, opts: &GlobalOpts) -> Result<(Dataset, SourceAvailability), CliError> {
+///
+/// A directory holding a snapshot MANIFEST is loaded through the
+/// columnar snapshot path (same strict/lenient/degraded semantics, with
+/// the reject ceiling enforced per segment); anything else goes through
+/// the CSV store.
+fn load_dataset(dir: &Path, opts: &GlobalOpts) -> Result<LoadedDataset, CliError> {
+    if snapshot::is_snapshot_dir(dir) {
+        let load_opts = LoadOptions {
+            max_reject_ratio: opts.max_reject_ratio.unwrap_or(0.0),
+            degraded: opts.degraded,
+            ..LoadOptions::default()
+        };
+        let (ds, report) = snapshot::read_dir_with(dir, &load_opts)?;
+        let avail = report.load.availability();
+        return Ok((ds, avail, Some(report.partitions)));
+    }
     if opts.degraded || opts.max_reject_ratio.is_some() {
         let load_opts = LoadOptions {
             max_reject_ratio: opts
@@ -429,9 +506,19 @@ fn load_dataset(dir: &Path, opts: &GlobalOpts) -> Result<(Dataset, SourceAvailab
             ..LoadOptions::default()
         };
         let (ds, report) = Dataset::load_dir_with(dir, &load_opts)?;
-        Ok((ds, report.availability()))
+        Ok((ds, report.availability(), None))
     } else {
-        Ok((Dataset::load_dir(dir)?, SourceAvailability::ALL))
+        Ok((Dataset::load_dir(dir)?, SourceAvailability::ALL, None))
+    }
+}
+
+/// Builds the analysis, using the partitioned index build when the load
+/// produced a [`PartitionMap`] (snapshot sources) and the monolithic
+/// build otherwise — the two are artifact-identical.
+fn run_analysis(ds: &Dataset, avail: &SourceAvailability, parts: Option<&PartitionMap>) -> Analysis {
+    match parts {
+        Some(p) => Analysis::run_degraded_partitioned(ds, avail, p),
+        None => Analysis::run_degraded(ds, avail),
     }
 }
 
@@ -449,8 +536,8 @@ fn degraded_banner(avail: &SourceAvailability) -> String {
 }
 
 fn cmd_analyze(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let (ds, avail) = load(args, opts)?;
-    let a = Analysis::run_degraded(&ds, &avail);
+    let (ds, avail, parts) = load(args, opts)?;
+    let a = run_analysis(&ds, &avail, parts.as_ref());
     let mut out = String::new();
     if !a.degraded.is_empty() {
         out.push_str(&format!(
@@ -550,8 +637,8 @@ fn cmd_analyze(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
 }
 
 fn cmd_report(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let (ds, avail) = load(args, opts)?;
-    let a = Analysis::run_degraded(&ds, &avail);
+    let (ds, avail, parts) = load(args, opts)?;
+    let a = run_analysis(&ds, &avail, parts.as_ref());
     let mut out = degraded_banner(&avail);
     out.push_str("The 22 takeaways, re-derived from this trace:\n\n");
     for t in takeaways(&a) {
@@ -561,7 +648,7 @@ fn cmd_report(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
 }
 
 fn cmd_filter(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let (ds, avail) = load(args, opts)?;
+    let (ds, avail, _) = load(args, opts)?;
     let mut config = FilterConfig::default();
     if let Some(gap) = parse_num::<i64>(args, "--gap-mins")? {
         config.temporal_gap = Span::from_mins(gap);
@@ -600,7 +687,7 @@ fn cmd_filter(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
 }
 
 fn cmd_lifetime(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
-    let (ds, avail) = load(args, opts)?;
+    let (ds, avail, _) = load(args, opts)?;
     let window: u32 = parse_num(args, "--window-days")?.unwrap_or(90);
     if window == 0 {
         return Err(CliError::Usage("--window-days must be positive".into()));
@@ -637,7 +724,7 @@ fn cmd_lifetime(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> 
 fn cmd_predict(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     use bgq_core::filtering::{filter_events, FilterConfig};
     use bgq_core::prediction::{predict_and_evaluate, PredictorConfig};
-    let (ds, avail) = load(args, opts)?;
+    let (ds, avail, _) = load(args, opts)?;
     let incidents = filter_events(&ds.ras, &FilterConfig::default()).incidents;
     let report = predict_and_evaluate(&ds.ras, &incidents, &PredictorConfig::default());
     let mut table = Table::new(
@@ -721,14 +808,15 @@ fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     let dir = positional(args, &["--days", "--seed", "--baseline"]);
 
     let before = bgq_obs::snapshot();
-    let (ds, avail, source) = match dir {
+    let (ds, avail, parts, source) = match dir {
         Some(d) => {
-            let (ds, avail) = load_dataset(Path::new(d), opts)?;
-            (ds, avail, d.clone())
+            let (ds, avail, parts) = load_dataset(Path::new(d), opts)?;
+            (ds, avail, parts, d.clone())
         }
         None => (
             generate(&SimConfig::small(days).with_seed(seed)).dataset,
             SourceAvailability::ALL,
+            None,
             format!("simulated ({days} days, seed {seed})"),
         ),
     };
@@ -736,7 +824,10 @@ fn cmd_profile(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     bgq_obs::gauge_set("dataset.fingerprint", fingerprint);
     bgq_obs::gauge_set("run.threads", thread_count() as u64);
 
-    let idx = DatasetIndex::build(&ds);
+    let idx = match &parts {
+        Some(p) => DatasetIndex::build_partitioned(&ds, p, &FilterConfig::default()),
+        None => DatasetIndex::build(&ds),
+    };
     let analysis = Analysis::run_indexed(&idx);
     // Memo probe: run_indexed already built the Warn join for the
     // user-correlation stage; this second consumer must hit the memo,
@@ -921,6 +1012,89 @@ mod tests {
 
         let predict = run(&s(&["predict", dir_str])).unwrap();
         assert!(predict.contains("precision"), "{predict}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_gen_import_and_analyze_parity() {
+        let csv_dir = temp_dir("snap-csv");
+        let snap_dir = temp_dir("snap-bin");
+        let import_dir = temp_dir("snap-imported");
+        let csv_str = csv_dir.to_str().unwrap().to_owned();
+        let snap_str = snap_dir.to_str().unwrap().to_owned();
+        let import_str = import_dir.to_str().unwrap().to_owned();
+
+        // Same config through both persistence paths.
+        run(&s(&["gen", "--out", &csv_str, "--days", "8", "--seed", "3"])).unwrap();
+        let msg =
+            run(&s(&["gen", "--out", &snap_str, "--days", "8", "--seed", "3", "--snapshot"]))
+                .unwrap();
+        assert!(msg.contains("snapshot segments"), "{msg}");
+        assert!(snap_dir.join("MANIFEST").is_file());
+
+        // Golden parity: every command renders the same text over CSVs
+        // and over the snapshot.
+        for cmdline in [
+            vec!["analyze"],
+            vec!["report"],
+            vec!["filter", "--gap-mins", "30"],
+            vec!["lifetime", "--window-days", "4"],
+            vec!["predict"],
+        ] {
+            let mut via_csv = cmdline.clone();
+            via_csv.push(&csv_str);
+            let mut via_snap = cmdline.clone();
+            via_snap.push(&snap_str);
+            assert_eq!(
+                run(&s(&via_csv)).unwrap(),
+                run(&s(&via_snap)).unwrap(),
+                "{cmdline:?} diverged between CSV and snapshot"
+            );
+        }
+
+        // import re-encodes the CSVs into an equivalent snapshot.
+        let msg = run(&s(&["import", &csv_str, &import_str])).unwrap();
+        assert!(msg.contains("imported"), "{msg}");
+        assert_eq!(
+            run(&s(&["analyze", &import_str])).unwrap(),
+            run(&s(&["analyze", &csv_str])).unwrap(),
+        );
+
+        for d in [&csv_dir, &snap_dir, &import_dir] {
+            std::fs::remove_dir_all(d).unwrap();
+        }
+    }
+
+    #[test]
+    fn import_requires_two_directories() {
+        let err = run(&s(&["import", "/only-one"])).unwrap_err();
+        assert!(err.to_string().contains("SRC and DEST"), "{err}");
+    }
+
+    #[test]
+    fn degraded_snapshot_load_survives_a_deleted_segment() {
+        let dir = temp_dir("snap-degraded");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        run(&s(&["gen", "--out", &dir_str, "--days", "6", "--seed", "9", "--snapshot"])).unwrap();
+        // Delete one day's RAS segment: strict fails, --degraded carries on.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with("-ras.seg"))
+            })
+            .expect("a ras segment");
+        std::fs::remove_file(&seg).unwrap();
+
+        let err = run(&s(&["analyze", &dir_str])).unwrap_err();
+        assert!(matches!(err, CliError::Snapshot(_)), "{err}");
+
+        let out = run(&s(&["--quiet", "--degraded", "analyze", &dir_str])).unwrap();
+        assert!(out.contains("exit classes"), "{out}");
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -185,12 +185,33 @@ impl Analysis {
     /// the marker is what keeps it from being read as the full trace.
     #[must_use]
     pub fn run_degraded(ds: &Dataset, avail: &SourceAvailability) -> Self {
-        let mut a = Analysis::run(ds);
-        a.degraded = degraded_stages(avail);
-        for d in &a.degraded {
+        Analysis::run(ds).mark_degraded(avail)
+    }
+
+    /// [`Analysis::run_degraded`] over a day-partitioned dataset (e.g.
+    /// one loaded from a snapshot, which hands back its
+    /// [`PartitionMap`]): builds the index per-partition and merges —
+    /// the artifacts, and therefore every analysis field, are identical
+    /// to the monolithic build.
+    ///
+    /// [`PartitionMap`]: bgq_logs::snapshot::PartitionMap
+    #[must_use]
+    pub fn run_degraded_partitioned(
+        ds: &Dataset,
+        avail: &SourceAvailability,
+        parts: &bgq_logs::snapshot::PartitionMap,
+    ) -> Self {
+        let idx = DatasetIndex::build_partitioned(ds, parts, &FilterConfig::default());
+        Analysis::run_indexed(&idx).mark_degraded(avail)
+    }
+
+    /// Stamps the load-time quarantine markers onto a finished analysis.
+    fn mark_degraded(mut self, avail: &SourceAvailability) -> Self {
+        self.degraded = degraded_stages(avail);
+        for d in &self.degraded {
             bgq_obs::add_labeled("analysis.degraded", d.stage, 1);
         }
-        a
+        self
     }
 
     /// Runs every analysis with an explicit filter configuration.

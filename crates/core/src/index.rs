@@ -17,10 +17,13 @@
 //!
 //! [`Analysis::run`]: crate::analysis::Analysis::run
 
+use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::OnceLock;
 
 use bgq_logs::interval::IntervalIndex;
-use bgq_logs::join::{attribute_events_with, job_span_index, JoinResult};
+use bgq_logs::join::{attribute_events_with, job_span_index, job_span_index_partitioned, JoinResult};
+use bgq_logs::snapshot::{PartitionMap, PartitionSpan};
 use bgq_logs::store::Dataset;
 use bgq_model::ras::Severity;
 use bgq_model::{IoRecord, JobRecord, RasRecord, Timestamp};
@@ -143,6 +146,81 @@ impl<'a> DatasetIndex<'a> {
         }
     }
 
+    /// Builds the index one day-partition at a time and merges — the same
+    /// artifacts as [`DatasetIndex::build_with`], bit for bit.
+    ///
+    /// Per-partition artifacts (exit classes, end ordering, severity
+    /// views) are computed concurrently across partitions under the
+    /// `parallel` feature; the merge preserves the monolithic build's
+    /// ordering exactly (concatenation for day-grouped artifacts, a
+    /// deterministic k-way merge for the end ordering, a globally-sized
+    /// partitioned interval build for the span index). The filtering
+    /// funnel is always computed globally, because temporal clusters span
+    /// partition boundaries.
+    ///
+    /// `parts` must describe `ds` (see [`PartitionMap::of_dataset`]).
+    #[must_use]
+    pub fn build_partitioned(ds: &'a Dataset, parts: &PartitionMap, config: &FilterConfig) -> Self {
+        let _span = bgq_obs::span!("index.build.partitioned");
+        let arts = bgq_par::par_map(&parts.days, |span| PartArtifacts::compute(ds, span));
+        Self::merge(ds, config, &arts)
+    }
+
+    /// Assembles a full index from per-partition artifacts covering the
+    /// dataset in day order.
+    fn merge(ds: &'a Dataset, config: &FilterConfig, arts: &[PartArtifacts]) -> Self {
+        let (jobs, ras) = (ds.jobs.as_slice(), ds.ras.as_slice());
+        #[cfg(debug_assertions)]
+        {
+            let (mut j, mut r) = (0, 0);
+            for a in arts {
+                assert_eq!(a.jobs.start, j, "job runs must be contiguous");
+                assert_eq!(a.ras.start, r, "ras runs must be contiguous");
+                j = a.jobs.end;
+                r = a.ras.end;
+            }
+            assert_eq!(j, jobs.len(), "job runs must cover the job log");
+            assert_eq!(r, ras.len(), "ras runs must cover the RAS log");
+        }
+        let ((exit_classes, jobs_by_end, job_spans), (filter, by_severity)) = bgq_par::join(
+            || {
+                bgq_obs::time("index.merge.jobs", || {
+                    let mut classes = Vec::with_capacity(jobs.len());
+                    for a in arts {
+                        classes.extend_from_slice(&a.exit_classes);
+                    }
+                    let runs: Vec<Range<usize>> = arts.iter().map(|a| a.jobs.clone()).collect();
+                    (classes, merge_by_end(jobs, arts), job_span_index_partitioned(jobs, &runs))
+                })
+            },
+            || {
+                bgq_obs::time("index.merge.ras", || {
+                    // Clusters cross midnight, so the funnel is global.
+                    let filter = filter_events(ras, config);
+                    let mut views: [Vec<usize>; 3] = Default::default();
+                    for a in arts {
+                        for (view, part) in views.iter_mut().zip(&a.by_severity) {
+                            view.extend_from_slice(part);
+                        }
+                    }
+                    (filter, views)
+                })
+            },
+        );
+        DatasetIndex {
+            jobs,
+            ras,
+            io: &ds.io,
+            filter_config: config.clone(),
+            exit_classes,
+            jobs_by_end,
+            job_spans,
+            filter,
+            by_severity,
+            joins: Default::default(),
+        }
+    }
+
     /// Exit class of `jobs[i]`.
     #[must_use]
     pub fn exit_class(&self, i: usize) -> ExitClass {
@@ -227,6 +305,172 @@ impl<'a> DatasetIndex<'a> {
             }
         }
         out
+    }
+}
+
+/// Eager index artifacts of one day partition, in **global** row indices
+/// so merging is pure concatenation / k-way merging with no re-offsetting.
+#[derive(Debug, Clone)]
+struct PartArtifacts {
+    /// Partition day (the incremental cache key).
+    day: i64,
+    /// Global job-row range this partition covers.
+    jobs: Range<usize>,
+    /// Global RAS-row range this partition covers.
+    ras: Range<usize>,
+    /// Exit classes of `jobs`, in row order.
+    exit_classes: Vec<ExitClass>,
+    /// Global job indices of this partition sorted by `(ended_at, index)`.
+    by_end: Vec<usize>,
+    /// Global RAS indices partitioned by exact severity, time-sorted.
+    by_severity: [Vec<usize>; 3],
+}
+
+impl PartArtifacts {
+    fn compute(ds: &Dataset, span: &PartitionSpan) -> PartArtifacts {
+        let exit_classes = ds.jobs[span.jobs.clone()]
+            .iter()
+            .map(|j| ExitClass::from_exit_code(j.exit_code))
+            .collect();
+        let mut by_end: Vec<usize> = span.jobs.clone().collect();
+        by_end.sort_by_key(|&i| (ds.jobs[i].ended_at, i));
+        let mut by_severity: [Vec<usize>; 3] = Default::default();
+        for i in span.ras.clone() {
+            by_severity[rank(ds.ras[i].severity)].push(i);
+        }
+        PartArtifacts {
+            day: span.day,
+            jobs: span.jobs.clone(),
+            ras: span.ras.clone(),
+            exit_classes,
+            by_end,
+            by_severity,
+        }
+    }
+}
+
+/// Deterministic k-way merge of the per-partition end orderings by
+/// `(ended_at, index)`. The keys are unique (the index breaks ties), so
+/// the output is exactly the monolithic `sort_by_key` over all jobs.
+fn merge_by_end(jobs: &[JobRecord], arts: &[PartArtifacts]) -> Vec<usize> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let total: usize = arts.iter().map(|a| a.by_end.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut heap = BinaryHeap::with_capacity(arts.len());
+    for (run, a) in arts.iter().enumerate() {
+        if let Some(&i) = a.by_end.first() {
+            heap.push(Reverse((jobs[i].ended_at, i, run, 0usize)));
+        }
+    }
+    while let Some(Reverse((_, i, run, pos))) = heap.pop() {
+        out.push(i);
+        if let Some(&j) = arts[run].by_end.get(pos + 1) {
+            heap.push(Reverse((jobs[j].ended_at, j, run, pos + 1)));
+        }
+    }
+    out
+}
+
+/// What an incremental [`IndexBuilder::build_with_stats`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Partitions whose cached artifacts were reused as-is.
+    pub reused: usize,
+    /// Partitions (re)computed this call.
+    pub computed: usize,
+}
+
+/// Incremental [`DatasetIndex`] builder: caches per-day artifacts so
+/// that appending a day to the dataset re-computes only the new day
+/// instead of rescanning the history.
+///
+/// The cache key is the partition day; a cached day is reused only when
+/// its global row ranges are unchanged, which holds exactly under the
+/// snapshot store's append-only-in-time contract (new rows land on new,
+/// later days, so existing partitions keep their offsets). A day whose
+/// ranges moved — or that disappeared — is transparently recomputed or
+/// dropped, so the builder is *correct* for any input and *incremental*
+/// for appends.
+///
+/// # Examples
+///
+/// ```
+/// use bgq_core::index::IndexBuilder;
+/// use bgq_logs::snapshot::PartitionMap;
+/// use bgq_sim::{generate, SimConfig};
+///
+/// let ds = generate(&SimConfig::small(3).with_seed(9)).dataset;
+/// let parts = PartitionMap::of_dataset(&ds);
+/// let mut builder = IndexBuilder::new();
+/// let idx = builder.build(&ds, &parts);
+/// assert_eq!(idx.exit_classes.len(), ds.jobs.len());
+/// ```
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    /// Cached per-day artifacts from the previous build, day-ascending.
+    cache: Vec<PartArtifacts>,
+}
+
+impl IndexBuilder {
+    /// A builder with an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the index with the default [`FilterConfig`], reusing cached
+    /// partitions.
+    pub fn build<'a>(&mut self, ds: &'a Dataset, parts: &PartitionMap) -> DatasetIndex<'a> {
+        self.build_with_stats(ds, parts, &FilterConfig::default()).0
+    }
+
+    /// Builds the index, reusing every cached partition whose day and row
+    /// ranges match `parts`, and reports how much work was saved.
+    ///
+    /// Records `index.partition.reused` / `index.partition.computed`
+    /// counters, so a run manifest can prove an append was incremental.
+    pub fn build_with_stats<'a>(
+        &mut self,
+        ds: &'a Dataset,
+        parts: &PartitionMap,
+        config: &FilterConfig,
+    ) -> (DatasetIndex<'a>, BuildStats) {
+        let _span = bgq_obs::span!("index.build.incremental");
+        let mut cached: HashMap<i64, PartArtifacts> =
+            self.cache.drain(..).map(|a| (a.day, a)).collect();
+        let mut slots: Vec<Option<PartArtifacts>> = Vec::with_capacity(parts.days.len());
+        let mut todo: Vec<(usize, &PartitionSpan)> = Vec::new();
+        for (slot, span) in parts.days.iter().enumerate() {
+            match cached.remove(&span.day) {
+                Some(a) if a.jobs == span.jobs && a.ras == span.ras => slots.push(Some(a)),
+                _ => {
+                    slots.push(None);
+                    todo.push((slot, span));
+                }
+            }
+        }
+        let stats = BuildStats {
+            reused: parts.days.len() - todo.len(),
+            computed: todo.len(),
+        };
+        let fresh = bgq_par::par_map(&todo, |(_, span)| PartArtifacts::compute(ds, span));
+        for (&(slot, _), art) in todo.iter().zip(fresh) {
+            slots[slot] = Some(art);
+        }
+        self.cache = slots
+            .into_iter()
+            .map(|s| s.expect("every slot reused or computed"))
+            .collect();
+        bgq_obs::add("index.partition.reused", stats.reused as u64);
+        bgq_obs::add("index.partition.computed", stats.computed as u64);
+        (DatasetIndex::merge(ds, config, &self.cache), stats)
+    }
+
+    /// Number of day partitions currently cached.
+    #[must_use]
+    pub fn cached_days(&self) -> usize {
+        self.cache.len()
     }
 }
 
@@ -315,5 +559,92 @@ mod tests {
         assert!(idx.exit_classes.is_empty());
         assert!(idx.join(Severity::Info).is_empty());
         assert_eq!(idx.effective_incident_count(), 0);
+    }
+
+    /// Every eager artifact of `got` equals `want`'s, bit for bit.
+    fn assert_same_artifacts(got: &DatasetIndex<'_>, want: &DatasetIndex<'_>) {
+        assert_eq!(got.exit_classes, want.exit_classes);
+        assert_eq!(got.jobs_by_end, want.jobs_by_end);
+        assert_eq!(got.job_spans, want.job_spans);
+        assert_eq!(got.filter, want.filter);
+        for &s in &Severity::ALL {
+            assert_eq!(got.events_with_severity(s), want.events_with_severity(s));
+        }
+    }
+
+    #[test]
+    fn partitioned_build_matches_monolithic() {
+        let ds = dataset();
+        let parts = PartitionMap::of_dataset(&ds);
+        assert!(parts.days.len() > 1, "need several partitions to merge");
+        let mono = DatasetIndex::build(&ds);
+        let part = DatasetIndex::build_partitioned(&ds, &parts, &FilterConfig::default());
+        assert_same_artifacts(&part, &mono);
+        // The memoized join over the merged artifacts matches too.
+        assert_eq!(
+            part.join(Severity::Fatal).pairs,
+            mono.join(Severity::Fatal).pairs
+        );
+
+        // Degenerate case: the empty dataset has zero partitions.
+        let empty = Dataset::new();
+        let idx = DatasetIndex::build_partitioned(
+            &empty,
+            &PartitionMap::of_dataset(&empty),
+            &FilterConfig::default(),
+        );
+        assert!(idx.exit_classes.is_empty());
+        assert!(idx.join(Severity::Info).is_empty());
+    }
+
+    #[test]
+    fn incremental_append_matches_full_rebuild() {
+        use bgq_logs::snapshot::day_of;
+
+        let full = dataset();
+        let parts_full = PartitionMap::of_dataset(&full);
+        assert!(parts_full.days.len() > 2, "need enough days to truncate");
+        // Truncate the last day off every table: the remaining rows are a
+        // prefix of each (canonically ordered) table, so the surviving
+        // partitions keep their global row ranges — the append-only-in-time
+        // contract the builder's cache relies on.
+        let cut = parts_full.days.last().unwrap().day;
+        let mut prefix = full.clone();
+        prefix.jobs.retain(|j| day_of(j.started_at) < cut);
+        prefix.ras.retain(|r| day_of(r.event_time) < cut);
+        prefix.tasks.retain(|t| day_of(t.started_at) < cut);
+        let kept: std::collections::HashSet<_> = prefix.jobs.iter().map(|j| j.job_id).collect();
+        prefix.io.retain(|r| kept.contains(&r.job_id));
+        let parts_prefix = PartitionMap::of_dataset(&prefix);
+        assert_eq!(parts_prefix.days.len(), parts_full.days.len() - 1);
+
+        let config = FilterConfig::default();
+        let mut builder = IndexBuilder::new();
+        // Cold build over the prefix: everything computed, nothing reused.
+        let (idx, stats) = builder.build_with_stats(&prefix, &parts_prefix, &config);
+        assert_eq!(
+            stats,
+            BuildStats { reused: 0, computed: parts_prefix.days.len() }
+        );
+        assert_same_artifacts(&idx, &DatasetIndex::build_with(&prefix, &config));
+        drop(idx);
+        assert_eq!(builder.cached_days(), parts_prefix.days.len());
+
+        // Append the last day back: only that day is computed.
+        let (idx, stats) = builder.build_with_stats(&full, &parts_full, &config);
+        assert_eq!(
+            stats,
+            BuildStats { reused: parts_prefix.days.len(), computed: 1 }
+        );
+        assert_same_artifacts(&idx, &DatasetIndex::build_with(&full, &config));
+        drop(idx);
+
+        // Rebuilding over the same dataset reuses everything.
+        let (idx, stats) = builder.build_with_stats(&full, &parts_full, &config);
+        assert_eq!(
+            stats,
+            BuildStats { reused: parts_full.days.len(), computed: 0 }
+        );
+        assert_same_artifacts(&idx, &DatasetIndex::build_with(&full, &config));
     }
 }

@@ -46,7 +46,55 @@
 //!   resolved strings so sort orders are reproducible across runs.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Mutex, OnceLock};
+
+/// Word-wise FNV-1a hasher for the pool's lookup map.
+///
+/// Pool keys are short trusted log vocabulary (not attacker-controlled),
+/// so SipHash's DoS resistance buys nothing here while costing most of
+/// the lookup time on the bulk re-intern path (snapshot reload hashes
+/// every distinct rendered message once per load). Mixing eight bytes
+/// per multiply keeps hashing a small fraction of the probe cost.
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        // FNV's low bits are weakly mixed (they never see the high
+        // bits), and similar keys — rendered messages off one template —
+        // would cluster in the table's low-bit bucket index. One
+        // SplitMix64-style avalanche fixes the distribution for the
+        // price of two multiplies per key.
+        let mut h = self.0;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            hash = (hash ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(PRIME);
+        }
+        let mut tail = u64::from(bytes.len() as u8);
+        for &b in chunks.remainder() {
+            tail = tail << 8 | u64::from(b);
+        }
+        self.0 = (hash ^ tail).wrapping_mul(PRIME);
+    }
+}
+
+type FnvBuild = BuildHasherDefault<FnvHasher>;
 
 /// An untyped intern pool. Use through [`intern_pool!`], which ties one
 /// static `Pool` to a symbol newtype; the raw API is public so the
@@ -58,9 +106,22 @@ pub struct Pool {
 struct PoolState {
     /// Resolves a string to its symbol. Keys borrow the leaked entries
     /// in `strings`, so the map itself allocates only its table.
-    lookup: HashMap<&'static str, u32>,
+    lookup: HashMap<&'static str, u32, FnvBuild>,
     /// `strings[sym]` resolves a symbol; index 0 is always `""`.
     strings: Vec<&'static str>,
+}
+
+impl PoolState {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = u32::try_from(self.strings.len()).expect("intern pool overflow");
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        self.strings.push(leaked);
+        self.lookup.insert(leaked, sym);
+        sym
+    }
 }
 
 impl Pool {
@@ -74,7 +135,7 @@ impl Pool {
 
     fn state(&self) -> &Mutex<PoolState> {
         self.state.get_or_init(|| {
-            let mut lookup = HashMap::new();
+            let mut lookup = HashMap::with_hasher(FnvBuild::default());
             lookup.insert("", 0);
             Mutex::new(PoolState {
                 lookup,
@@ -92,15 +153,22 @@ impl Pool {
     /// Panics if the pool exceeds `u32::MAX` distinct strings (a pool
     /// holding unbounded values is a misuse of this crate).
     pub fn intern(&self, s: &str) -> u32 {
+        self.state().lock().expect("intern pool poisoned").intern(s)
+    }
+
+    /// Interns a batch of strings under a single pool lock, returning
+    /// one symbol per input in order.
+    ///
+    /// Bulk loaders (the columnar snapshot reader re-interning a
+    /// segment's whole string table) call this instead of paying one
+    /// lock round-trip per string.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`Pool::intern`] does on pool overflow.
+    pub fn intern_all(&self, strs: &[&str]) -> Vec<u32> {
         let mut state = self.state().lock().expect("intern pool poisoned");
-        if let Some(&sym) = state.lookup.get(s) {
-            return sym;
-        }
-        let sym = u32::try_from(state.strings.len()).expect("intern pool overflow");
-        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
-        state.strings.push(leaked);
-        state.lookup.insert(leaked, sym);
-        sym
+        strs.iter().map(|s| state.intern(s)).collect()
     }
 
     /// Resolves a symbol produced by [`Pool::intern`].
@@ -138,7 +206,8 @@ impl Default for Pool {
 /// Mints a `Copy` symbol newtype backed by its own process-wide
 /// [`Pool`].
 ///
-/// The generated type exposes `intern`, `as_str`, `pool_len`, and
+/// The generated type exposes `intern`, `intern_all`, `as_str`,
+/// `pool_len`, and
 /// implements `From<&str>`/`From<String>`, `Display`/`Debug` (the
 /// resolved text), `Default` (the empty string), `PartialEq`/`Eq`/
 /// `Hash` by symbol, and `PartialOrd`/`Ord` by resolved string (so
@@ -160,6 +229,15 @@ macro_rules! intern_pool {
             #[must_use]
             $vis fn intern(s: &str) -> Self {
                 $Name(Self::pool().intern(s))
+            }
+
+            /// Interns a batch under one pool lock (see
+            /// [`Pool::intern_all`]), one symbol per input in order.
+            ///
+            /// [`Pool::intern_all`]: $crate::Pool::intern_all
+            #[must_use]
+            $vis fn intern_all(strs: &[&str]) -> Vec<Self> {
+                Self::pool().intern_all(strs).into_iter().map($Name).collect()
             }
 
             /// The interned text.
@@ -278,6 +356,38 @@ mod tests {
     }
 
     #[test]
+    fn intern_all_matches_one_at_a_time() {
+        let batch = TestSym::intern_all(&["batch-a", "batch-b", "batch-a", ""]);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0], TestSym::intern("batch-a"));
+        assert_eq!(batch[1], TestSym::intern("batch-b"));
+        assert_eq!(batch[2], batch[0]);
+        assert_eq!(batch[3], TestSym::default());
+        assert_eq!(TestSym::intern_all(&[]), Vec::new());
+    }
+
+    #[test]
+    fn fnv_hasher_is_deterministic_and_spreads() {
+        use std::hash::{Hash, Hasher};
+        let hash_of = |s: &str| {
+            let mut h = crate::FnvHasher::default();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash_of("alpha"), hash_of("alpha"));
+        assert_ne!(hash_of("alpha"), hash_of("alphb"));
+        assert_ne!(hash_of(""), hash_of("\0"));
+        // Split writes must chain like a single write of the whole key.
+        let mut split = crate::FnvHasher::default();
+        split.write(b"alp");
+        split.write(b"ha");
+        let mut whole = crate::FnvHasher::default();
+        whole.write(b"alpha");
+        assert_ne!(split.finish(), 0);
+        assert_ne!(whole.finish(), 0);
+    }
+
+    #[test]
     fn pool_len_counts_distinct_only() {
         let before = TestSym::pool_len();
         let _ = TestSym::intern("distinct-1");
@@ -292,7 +402,7 @@ mod tests {
             struct OtherSym
         }
         let a = TestSym::intern("shared-text");
-        let b = OtherSym::intern("unshared");
+        let b = OtherSym::intern_all(&["unshared"])[0];
         // Different pools assign symbols independently; only the text
         // matters for resolution.
         assert_eq!(a.as_str(), "shared-text");

@@ -80,6 +80,25 @@ pub fn job_span_index(jobs: &[JobRecord]) -> IntervalIndex {
     })
 }
 
+/// [`job_span_index`] built from contiguous runs of the job log (one run
+/// per partition day) via [`IntervalIndex::build_partitioned`] — the
+/// result is bit-identical to [`job_span_index`] over the same slice.
+///
+/// `runs` must cover `0..jobs.len()` contiguously in order.
+#[must_use]
+pub fn job_span_index_partitioned(
+    jobs: &[JobRecord],
+    runs: &[std::ops::Range<usize>],
+) -> IntervalIndex {
+    bgq_obs::time("join.span_index", || {
+        IntervalIndex::build_partitioned(
+            jobs.iter().map(|j| (j.started_at, j.ended_at)),
+            runs,
+            JOB_SPAN_BUCKET,
+        )
+    })
+}
+
 /// Joins `events` to `jobs`: an event is attributed to every job whose
 /// execution window contains the event time and whose block contains the
 /// event location.

@@ -7,6 +7,7 @@
 //!   commas and quotes);
 //! * [`schema`] — the CSV field layout of each record type;
 //! * [`store`] — [`store::Dataset`], the four-table on-disk dataset;
+//! * [`snapshot`] — the partitioned columnar binary snapshot store;
 //! * [`interval`] — a bucketed interval index for "what ran at time t";
 //! * [`join`] — the temporal–spatial attribution of RAS events to jobs.
 //!
@@ -26,6 +27,7 @@ pub mod csv;
 pub mod interval;
 pub mod join;
 pub mod schema;
+pub mod snapshot;
 pub mod store;
 
 pub use csv::{CsvReader, CsvScanner, RecordView};

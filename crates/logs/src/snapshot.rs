@@ -1,0 +1,1866 @@
+//! Partitioned columnar binary snapshot store.
+//!
+//! A snapshot is a directory holding one **segment file per day per
+//! table** plus a small text `MANIFEST`. Each segment stores its rows in
+//! struct-of-arrays layout behind a versioned, endianness-tagged header
+//! and an FNV-1a-64 checksum, so reloading is a bounds check and a
+//! column walk rather than a parse: a 2001-day dataset that takes
+//! seconds to re-parse from CSV loads in milliseconds.
+//!
+//! # Segment format (version 1)
+//!
+//! Everything is **little-endian**; the header carries an explicit
+//! endian tag so a big-endian writer can never be misread silently.
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "BGQSEG1\0"
+//!      8     4  format version (u32, = 1)
+//!     12     4  endian tag (u32, = 0x0102_0304)
+//!     16     4  table id (u32: 0 jobs, 1 ras, 2 tasks, 3 io)
+//!     20     4  reserved (0)
+//!     24     8  partition day (i64, unix epoch days)
+//!     32     8  row count (u64)
+//!     40     4  string-table entry count (u32)
+//!     44     4  reserved (0)
+//!     48     8  payload length in bytes (u64)
+//!     56     8  FNV-1a-64 checksum of the payload
+//!     64     …  payload
+//! ```
+//!
+//! The payload is a length-prefixed string table (`u32` byte length +
+//! UTF-8 bytes per entry — RAS locations and interned message texts)
+//! followed by the columns of the table in declared order, each a
+//! packed array of fixed-width values. Enum-valued columns store the
+//! index into the corresponding `ALL` array; `f64` columns store the
+//! IEEE bit pattern.
+//!
+//! # Partitioning and order
+//!
+//! Rows are partitioned by **day** (`timestamp.div_euclid(86 400)`):
+//! jobs and tasks by start time, RAS events by event time, and I/O
+//! records by the day their owning job started (the I/O log carries no
+//! timestamp of its own; profiles whose job is unknown land in day 0).
+//! Within a segment rows are in the dataset's canonical order, so
+//! concatenating segments in day order reproduces a [`Dataset`] in
+//! canonical order directly — loads end with the same
+//! [`Dataset::normalize`] contract the CSV path pins.
+//!
+//! # Resilience
+//!
+//! [`read_dir_with`] applies [`LoadOptions::max_reject_ratio`] **per
+//! segment**, not per table: one fully-corrupt day among 2001 clean
+//! days quarantines that day (under [`LoadOptions::degraded`]) instead
+//! of either failing the whole table or hiding under an aggregate
+//! ratio. Table-level absence (recorded in the manifest by an
+//! availability-aware save) quarantines the whole table exactly like a
+//! missing CSV.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use bgq_model::ids::{JobId, ProjectId, RecId, TaskId, UserId};
+use bgq_model::job::{Mode, Queue};
+use bgq_model::ras::{Category, Component, MsgId, Severity};
+use bgq_model::{
+    Block, IoRecord, JobRecord, Location, MsgText, RasRecord, TaskRecord, Timestamp,
+};
+
+use crate::store::{
+    Dataset, LoadOptions, LoadReport, QuarantineReason, SourceAvailability, TableLoadStats,
+    TableStatus,
+};
+
+/// Magic bytes opening every segment file.
+pub const MAGIC: [u8; 8] = *b"BGQSEG1\0";
+/// Current segment format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Endianness tag as written by a little-endian writer.
+pub const ENDIAN_TAG: u32 = 0x0102_0304;
+/// Fixed header length in bytes; the payload starts here.
+pub const HEADER_LEN: usize = 64;
+/// Byte offset of the checksum field within the header.
+pub const CHECKSUM_OFFSET: usize = 56;
+/// Manifest file name marking a directory as a snapshot root.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// Seconds per partition day.
+const SECS_PER_DAY: i64 = 86_400;
+
+/// The four tables in canonical order, with their stable table ids.
+const TABLES: [&str; 4] = ["jobs", "ras", "tasks", "io"];
+
+/// Integrity checksum over segment payloads: FNV-1a-64 run over four
+/// interleaved 8-byte little-endian lanes (32-byte blocks), with the
+/// byte tail and the total length folded in at the end.
+///
+/// The four independent multiply chains break the serial data
+/// dependency of classic byte-at-a-time FNV, so verifying a segment
+/// costs a small fraction of reading it instead of dominating the warm
+/// load. Any single corrupted byte still perturbs exactly one lane's
+/// chain (or the tail fold), so detection behaviour matches plain FNV
+/// for the fault classes the chaos harness injects.
+#[must_use]
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = [BASIS, BASIS ^ 1, BASIS ^ 2, BASIS ^ 3];
+    let mut blocks = bytes.chunks_exact(32);
+    for block in &mut blocks {
+        for (lane, word) in lanes.iter_mut().zip(block.chunks_exact(8)) {
+            *lane = (*lane ^ u64::from_le_bytes(word.try_into().unwrap())).wrapping_mul(PRIME);
+        }
+    }
+    let mut hash = BASIS;
+    for lane in lanes {
+        hash = (hash ^ lane).wrapping_mul(PRIME);
+    }
+    for &b in blocks.remainder() {
+        hash = (hash ^ u64::from(b)).wrapping_mul(PRIME);
+    }
+    (hash ^ bytes.len() as u64).wrapping_mul(PRIME)
+}
+
+/// Path of one segment file: `<root>/d<day>-<table>.seg`.
+#[must_use]
+pub fn segment_path(root: &Path, table: &str, day: i64) -> PathBuf {
+    root.join(format!("d{day}-{table}.seg"))
+}
+
+/// `true` when `path` looks like a snapshot root (has a manifest).
+#[must_use]
+pub fn is_snapshot_dir(path: &Path) -> bool {
+    path.join(MANIFEST_FILE).is_file()
+}
+
+/// Error produced when writing or reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io {
+        /// Path involved.
+        path: String,
+        /// Underlying I/O error.
+        source: io::Error,
+    },
+    /// The manifest is missing, unreadable, or malformed.
+    Manifest {
+        /// Manifest path.
+        path: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A segment failed structural validation or row decoding.
+    Segment {
+        /// Table the segment belongs to.
+        table: &'static str,
+        /// Partition day of the segment.
+        day: i64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A segment's reject ratio exceeded the configured ceiling.
+    RejectRatio {
+        /// Table the segment belongs to.
+        table: &'static str,
+        /// Partition day of the segment.
+        day: i64,
+        /// Rows rejected in this segment.
+        rejected: usize,
+        /// Rows in this segment.
+        rows: usize,
+        /// The configured ceiling that was exceeded.
+        limit: f64,
+    },
+    /// A strict load found a table the manifest marks unavailable.
+    Unavailable {
+        /// The absent table.
+        table: &'static str,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { path, source } => write!(f, "{path}: {source}"),
+            SnapshotError::Manifest { path, detail } => {
+                write!(f, "snapshot manifest {path}: {detail}")
+            }
+            SnapshotError::Segment { table, day, detail } => {
+                write!(f, "segment {table}/day {day}: {detail}")
+            }
+            SnapshotError::RejectRatio {
+                table,
+                day,
+                rejected,
+                rows,
+                limit,
+            } => write!(
+                f,
+                "segment {table}/day {day}: {rejected} of {rows} rows rejected, exceeding \
+                 the configured ceiling of {:.2}%",
+                limit * 100.0
+            ),
+            SnapshotError::Unavailable { table } => {
+                write!(f, "table {table}: marked unavailable in the snapshot manifest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+fn io_err(path: &Path, source: io::Error) -> SnapshotError {
+    SnapshotError::Io {
+        path: path.display().to_string(),
+        source,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partition map
+// ---------------------------------------------------------------------------
+
+/// Row ranges of one partition day within a canonically ordered dataset.
+///
+/// I/O rows are deliberately absent: the canonical I/O order is by job
+/// id, which does not group by day, and no index artifact partitions
+/// over the I/O table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpan {
+    /// Partition day (unix epoch days).
+    pub day: i64,
+    /// Jobs whose `started_at` falls on this day.
+    pub jobs: Range<usize>,
+    /// RAS events whose `event_time` falls on this day.
+    pub ras: Range<usize>,
+    /// Tasks whose `started_at` falls on this day.
+    pub tasks: Range<usize>,
+}
+
+/// Day-partition boundaries of a canonically ordered [`Dataset`] — the
+/// unit of incremental index building and of snapshot segments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartitionMap {
+    /// One span per day, ascending; days with no rows in any table are
+    /// absent.
+    pub days: Vec<PartitionSpan>,
+}
+
+/// Partition day of a timestamp.
+#[must_use]
+pub fn day_of(ts: Timestamp) -> i64 {
+    ts.as_secs().div_euclid(SECS_PER_DAY)
+}
+
+/// Splits `0..len` into day runs by the (sorted, per-row) day key.
+fn day_runs(len: usize, day_at: impl Fn(usize) -> i64) -> Vec<(i64, Range<usize>)> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    while start < len {
+        let day = day_at(start);
+        let mut end = start + 1;
+        while end < len && day_at(end) == day {
+            end += 1;
+        }
+        runs.push((day, start..end));
+        start = end;
+    }
+    runs
+}
+
+impl PartitionMap {
+    /// Computes the day partitions of a **canonically ordered** dataset
+    /// (see [`Dataset::normalize`]); the day set is the union over the
+    /// jobs, RAS, and tasks tables.
+    #[must_use]
+    pub fn of_dataset(ds: &Dataset) -> PartitionMap {
+        debug_assert!(
+            is_canonical(ds),
+            "PartitionMap::of_dataset requires a normalized dataset"
+        );
+        let jobs = day_runs(ds.jobs.len(), |i| day_of(ds.jobs[i].started_at));
+        let ras = day_runs(ds.ras.len(), |i| day_of(ds.ras[i].event_time));
+        let tasks = day_runs(ds.tasks.len(), |i| day_of(ds.tasks[i].started_at));
+        let mut days: Vec<i64> = jobs
+            .iter()
+            .chain(&ras)
+            .chain(&tasks)
+            .map(|(d, _)| *d)
+            .collect();
+        days.sort_unstable();
+        days.dedup();
+        let lookup = |runs: &[(i64, Range<usize>)], day: i64, after: &Range<usize>| {
+            runs.iter()
+                .find(|(d, _)| *d == day)
+                .map(|(_, r)| r.clone())
+                .unwrap_or(after.end..after.end)
+        };
+        let mut map = PartitionMap::default();
+        let (mut pj, mut pr, mut pt) = (0..0, 0..0, 0..0);
+        for day in days {
+            let j = lookup(&jobs, day, &pj);
+            let r = lookup(&ras, day, &pr);
+            let t = lookup(&tasks, day, &pt);
+            pj = j.clone();
+            pr = r.clone();
+            pt = t.clone();
+            map.days.push(PartitionSpan {
+                day,
+                jobs: j,
+                ras: r,
+                tasks: t,
+            });
+        }
+        map
+    }
+
+    /// Number of partition days.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// `true` when the dataset had no partitionable rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+}
+
+/// `true` when every table of `ds` is in its canonical order.
+#[must_use]
+pub fn is_canonical(ds: &Dataset) -> bool {
+    ds.jobs.is_sorted_by_key(|j| (j.started_at, j.job_id))
+        && ds.ras.is_sorted_by_key(|r| (r.event_time, r.rec_id))
+        && ds.tasks.is_sorted_by_key(|t| (t.started_at, t.task_id))
+        && ds.io.is_sorted_by_key(|r| r.job_id)
+}
+
+// ---------------------------------------------------------------------------
+// Column codecs
+// ---------------------------------------------------------------------------
+
+/// Column layout of one table: `(name, element width in bytes)` in
+/// on-disk order. The single source of truth for offsets — the writer,
+/// the reader, and the chaos harness's byte surgery all derive from it.
+#[must_use]
+pub fn columns(table: &str) -> &'static [(&'static str, usize)] {
+    match table {
+        "jobs" => &[
+            ("job_id", 8),
+            ("user", 4),
+            ("project", 4),
+            ("queue", 1),
+            ("nodes", 4),
+            ("mode", 1),
+            ("requested_walltime_s", 4),
+            ("queued_at", 8),
+            ("started_at", 8),
+            ("ended_at", 8),
+            ("block_start", 2),
+            ("block_len", 2),
+            ("exit_code", 4),
+            ("num_tasks", 4),
+        ],
+        "ras" => &[
+            ("rec_id", 8),
+            ("msg_id", 4),
+            ("severity", 1),
+            ("category", 1),
+            ("component", 1),
+            ("event_time", 8),
+            ("location", 4),
+            ("count", 4),
+            ("message", 4),
+        ],
+        "tasks" => &[
+            ("task_id", 8),
+            ("job_id", 8),
+            ("seq", 4),
+            ("block_start", 2),
+            ("block_len", 2),
+            ("started_at", 8),
+            ("ended_at", 8),
+            ("ranks", 8),
+            ("exit_code", 4),
+        ],
+        "io" => &[
+            ("job_id", 8),
+            ("bytes_read", 8),
+            ("bytes_written", 8),
+            ("files_read", 4),
+            ("files_written", 4),
+            ("io_time_s", 8),
+        ],
+        _ => &[],
+    }
+}
+
+/// Bytes per row of a table's column section.
+fn row_width(table: &str) -> usize {
+    columns(table).iter().map(|(_, w)| w).sum()
+}
+
+/// Append-only little-endian column buffers for one segment.
+struct ColumnWriter {
+    cols: Vec<Vec<u8>>,
+}
+
+impl ColumnWriter {
+    fn new(n: usize, rows: usize, widths: &[(&str, usize)]) -> Self {
+        ColumnWriter {
+            cols: widths
+                .iter()
+                .take(n)
+                .map(|(_, w)| Vec::with_capacity(rows * w))
+                .collect(),
+        }
+    }
+
+    fn u8(&mut self, col: usize, v: u8) {
+        self.cols[col].push(v);
+    }
+    fn u16(&mut self, col: usize, v: u16) {
+        self.cols[col].extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, col: usize, v: u32) {
+        self.cols[col].extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, col: usize, v: u64) {
+        self.cols[col].extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, col: usize, v: i32) {
+        self.cols[col].extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, col: usize, v: i64) {
+        self.cols[col].extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn concat(self, out: &mut Vec<u8>) {
+        for col in self.cols {
+            out.extend_from_slice(&col);
+        }
+    }
+}
+
+/// Fixed-stride little-endian readers over one segment's column section.
+///
+/// Each column is sliced out once; the typed bulk readers then decode a
+/// whole column in one `chunks_exact` sweep (straight sequential loads,
+/// no per-field offset arithmetic), so row assembly on the warm path is
+/// plain indexed access into typed vectors.
+struct ColumnReader<'a> {
+    cols: Vec<&'a [u8]>,
+}
+
+impl<'a> ColumnReader<'a> {
+    fn new(table: &str, rows: usize, bytes: &'a [u8]) -> Self {
+        let widths = columns(table);
+        let mut cols = Vec::with_capacity(widths.len());
+        let mut at = 0usize;
+        for (_, w) in widths {
+            cols.push(&bytes[at..at + rows * w]);
+            at += rows * w;
+        }
+        ColumnReader { cols }
+    }
+
+    fn u8s(&self, col: usize) -> &'a [u8] {
+        self.cols[col]
+    }
+    fn u16s(&self, col: usize) -> Vec<u16> {
+        self.cols[col]
+            .chunks_exact(2)
+            .map(|c| u16::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+    fn u32s(&self, col: usize) -> Vec<u32> {
+        self.cols[col]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+    fn u64s(&self, col: usize) -> Vec<u64> {
+        self.cols[col]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+    fn i32s(&self, col: usize) -> Vec<i32> {
+        self.cols[col]
+            .chunks_exact(4)
+            .map(|c| i32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+    fn i64s(&self, col: usize) -> Vec<i64> {
+        self.cols[col]
+            .chunks_exact(8)
+            .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+/// Deduplicating string table builder (first-use order, deterministic).
+#[derive(Default)]
+struct StringTable {
+    entries: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StringTable {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.index.get(s) {
+            return i;
+        }
+        let i = u32::try_from(self.entries.len()).expect("string table overflow");
+        self.entries.push(s.to_owned());
+        self.index.insert(s.to_owned(), i);
+        i
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment encoding
+// ---------------------------------------------------------------------------
+
+fn table_id(table: &str) -> u32 {
+    TABLES.iter().position(|t| *t == table).unwrap_or(u32::MAX as usize) as u32
+}
+
+/// Encodes one segment file (header + payload) for `table` and `day`.
+fn encode_segment(table: &'static str, day: i64, rows: SegmentRows<'_>) -> Vec<u8> {
+    let n = rows.len();
+    let widths = columns(table);
+    let mut strings = StringTable::default();
+    let mut w = ColumnWriter::new(widths.len(), n, widths);
+    match rows {
+        SegmentRows::Jobs(jobs) => {
+            for j in jobs {
+                w.u64(0, j.job_id.raw());
+                w.u32(1, j.user.raw());
+                w.u32(2, j.project.raw());
+                w.u8(3, enum_code(&Queue::ALL, &j.queue));
+                w.u32(4, j.nodes);
+                w.u8(5, j.mode.ranks_per_node());
+                w.u32(6, j.requested_walltime_s);
+                w.i64(7, j.queued_at.as_secs());
+                w.i64(8, j.started_at.as_secs());
+                w.i64(9, j.ended_at.as_secs());
+                w.u16(10, j.block.start());
+                w.u16(11, j.block.len());
+                w.i32(12, j.exit_code);
+                w.u32(13, j.num_tasks);
+            }
+        }
+        SegmentRows::Ras(ras) => {
+            for r in ras {
+                w.u64(0, r.rec_id.raw());
+                w.u32(1, r.msg_id.raw());
+                w.u8(2, enum_code(&Severity::ALL, &r.severity));
+                w.u8(3, enum_code(&Category::ALL, &r.category));
+                w.u8(4, enum_code(&Component::ALL, &r.component));
+                w.i64(5, r.event_time.as_secs());
+                w.u32(6, strings.intern(&r.location.to_string()));
+                w.u32(7, r.count);
+                w.u32(8, strings.intern(r.message.as_str()));
+            }
+        }
+        SegmentRows::Tasks(tasks) => {
+            for t in tasks {
+                w.u64(0, t.task_id.raw());
+                w.u64(1, t.job_id.raw());
+                w.u32(2, t.seq);
+                w.u16(3, t.block.start());
+                w.u16(4, t.block.len());
+                w.i64(5, t.started_at.as_secs());
+                w.i64(6, t.ended_at.as_secs());
+                w.u64(7, t.ranks);
+                w.i32(8, t.exit_code);
+            }
+        }
+        SegmentRows::Io(io) => {
+            for r in io {
+                w.u64(0, r.job_id.raw());
+                w.u64(1, r.bytes_read);
+                w.u64(2, r.bytes_written);
+                w.u32(3, r.files_read);
+                w.u32(4, r.files_written);
+                w.u64(5, r.io_time_s.to_bits());
+            }
+        }
+    }
+    let mut payload = Vec::new();
+    for s in &strings.entries {
+        payload.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        payload.extend_from_slice(s.as_bytes());
+    }
+    w.concat(&mut payload);
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&ENDIAN_TAG.to_le_bytes());
+    out.extend_from_slice(&table_id(table).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&day.to_le_bytes());
+    out.extend_from_slice(&(n as u64).to_le_bytes());
+    out.extend_from_slice(&(strings.entries.len() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Index of `value` within an enum's `ALL` array.
+fn enum_code<T: PartialEq>(all: &[T], value: &T) -> u8 {
+    all.iter().position(|v| v == value).expect("enum value outside ALL") as u8
+}
+
+enum SegmentRows<'a> {
+    Jobs(&'a [JobRecord]),
+    Ras(&'a [RasRecord]),
+    Tasks(&'a [TaskRecord]),
+    Io(&'a [IoRecord]),
+}
+
+impl SegmentRows<'_> {
+    fn len(&self) -> usize {
+        match self {
+            SegmentRows::Jobs(r) => r.len(),
+            SegmentRows::Ras(r) => r.len(),
+            SegmentRows::Tasks(r) => r.len(),
+            SegmentRows::Io(r) => r.len(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// What a snapshot write produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotWriteStats {
+    /// Partition days written.
+    pub days: usize,
+    /// Segment files written (days × available tables).
+    pub segments: usize,
+    /// Total bytes written across all segments.
+    pub bytes: u64,
+}
+
+/// Writes `ds` as a partitioned snapshot under `root`, recording
+/// per-table availability in the manifest.
+///
+/// Tables marked unavailable in `avail` are **not** written and the
+/// manifest records their absence, so a later load re-quarantines them
+/// instead of seeing an empty-but-clean table — the availability-aware
+/// persistence contract (see [`Dataset::save_dir_with`]).
+///
+/// The input need not be normalized: rows are partitioned and written
+/// in canonical order regardless (the snapshot on disk always honors
+/// the canonical-order contract). Stale segment and manifest files
+/// under `root` are removed first.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on any filesystem failure.
+pub fn write_dir(
+    ds: &Dataset,
+    root: &Path,
+    avail: &SourceAvailability,
+) -> Result<SnapshotWriteStats, SnapshotError> {
+    let _span = bgq_obs::span!("snapshot.write");
+    let mut ds_sorted;
+    let ds = if is_canonical(ds) {
+        ds
+    } else {
+        ds_sorted = ds.clone();
+        ds_sorted.normalize();
+        &ds_sorted
+    };
+    std::fs::create_dir_all(root).map_err(|e| io_err(root, e))?;
+    // Remove stale snapshot files so a rewrite cannot leave orphan days.
+    for entry in std::fs::read_dir(root).map_err(|e| io_err(root, e))? {
+        let entry = entry.map_err(|e| io_err(root, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == MANIFEST_FILE || (name.starts_with('d') && name.ends_with(".seg")) {
+            std::fs::remove_file(entry.path()).map_err(|e| io_err(&entry.path(), e))?;
+        }
+    }
+
+    let map = PartitionMap::of_dataset(ds);
+    // I/O rows keyed by owning job's start day (0 when the job is absent).
+    let job_days: HashMap<JobId, i64> = ds
+        .jobs
+        .iter()
+        .map(|j| (j.job_id, day_of(j.started_at)))
+        .collect();
+    let mut io_by_day: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (i, r) in ds.io.iter().enumerate() {
+        let day = job_days.get(&r.job_id).copied().unwrap_or(0);
+        io_by_day.entry(day).or_default().push(i);
+    }
+    let mut days: Vec<i64> = map.days.iter().map(|s| s.day).collect();
+    let mut io_days: Vec<i64> = io_by_day.keys().copied().collect();
+    io_days.sort_unstable();
+    days.extend(io_days);
+    days.sort_unstable();
+    days.dedup();
+
+    let mut stats = SnapshotWriteStats {
+        days: days.len(),
+        segments: 0,
+        bytes: 0,
+    };
+    let span_for = |day: i64| map.days.iter().find(|s| s.day == day);
+    for &day in &days {
+        let empty = 0..0;
+        let (jr, rr, tr) = span_for(day)
+            .map(|s| (s.jobs.clone(), s.ras.clone(), s.tasks.clone()))
+            .unwrap_or((empty.clone(), empty.clone(), empty));
+        let io_rows: Vec<IoRecord> = io_by_day
+            .get(&day)
+            .map(|idxs| idxs.iter().map(|&i| ds.io[i].clone()).collect())
+            .unwrap_or_default();
+        let segments: [(&'static str, Vec<u8>); 4] = [
+            ("jobs", encode_segment("jobs", day, SegmentRows::Jobs(&ds.jobs[jr]))),
+            ("ras", encode_segment("ras", day, SegmentRows::Ras(&ds.ras[rr]))),
+            ("tasks", encode_segment("tasks", day, SegmentRows::Tasks(&ds.tasks[tr]))),
+            ("io", encode_segment("io", day, SegmentRows::Io(&io_rows))),
+        ];
+        for (table, bytes) in segments {
+            if !avail.available(table) {
+                continue;
+            }
+            let path = segment_path(root, table, day);
+            std::fs::write(&path, &bytes).map_err(|e| io_err(&path, e))?;
+            stats.segments += 1;
+            stats.bytes += bytes.len() as u64;
+            bgq_obs::add_labeled("snapshot.segments_written", table, 1);
+            bgq_obs::hist_record_labeled("snapshot.segment_bytes", table, bytes.len() as u64);
+        }
+    }
+
+    let mut manifest = format!("bgq-snapshot {FORMAT_VERSION}\nendian little\n");
+    for table in TABLES {
+        let state = if avail.available(table) {
+            "available"
+        } else {
+            "unavailable"
+        };
+        manifest.push_str(&format!("table {table} {state}\n"));
+    }
+    for day in &days {
+        manifest.push_str(&format!("day {day}\n"));
+    }
+    let mpath = root.join(MANIFEST_FILE);
+    std::fs::write(&mpath, manifest).map_err(|e| io_err(&mpath, e))?;
+    bgq_obs::add("snapshot.writes", 1);
+    Ok(stats)
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// Parsed snapshot manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Format version of the snapshot the manifest describes.
+    pub version: u32,
+    /// Per-table availability recorded at write time.
+    pub availability: SourceAvailability,
+    /// Partition days, ascending.
+    pub days: Vec<i64>,
+}
+
+/// Reads and parses `<root>/MANIFEST`.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Manifest`] when the file is missing,
+/// unreadable, has an unsupported version, or is structurally invalid.
+pub fn read_manifest(root: &Path) -> Result<Manifest, SnapshotError> {
+    let path = root.join(MANIFEST_FILE);
+    let bad = |detail: String| SnapshotError::Manifest {
+        path: path.display().to_string(),
+        detail,
+    };
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| bad(format!("unreadable: {e}")))?;
+    let mut lines = text.lines();
+    let head = lines.next().unwrap_or_default();
+    let version = head
+        .strip_prefix("bgq-snapshot ")
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or_else(|| bad(format!("bad header line {head:?}")))?;
+    if version != FORMAT_VERSION {
+        return Err(bad(format!(
+            "unsupported version {version} (this build reads {FORMAT_VERSION})"
+        )));
+    }
+    let mut availability = SourceAvailability::ALL;
+    let mut days = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("endian") => {
+                let e = parts.next().unwrap_or_default();
+                if e != "little" {
+                    return Err(bad(format!("unsupported endianness {e:?}")));
+                }
+            }
+            Some("table") => {
+                let name = parts.next().unwrap_or_default();
+                let state = parts.next().unwrap_or_default();
+                let ok = match state {
+                    "available" => true,
+                    "unavailable" => false,
+                    other => return Err(bad(format!("bad table state {other:?}"))),
+                };
+                match name {
+                    "jobs" => availability.jobs = ok,
+                    "ras" => availability.ras = ok,
+                    "tasks" => availability.tasks = ok,
+                    "io" => availability.io = ok,
+                    other => return Err(bad(format!("unknown table {other:?}"))),
+                }
+            }
+            Some("day") => {
+                let d = parts
+                    .next()
+                    .and_then(|d| d.parse::<i64>().ok())
+                    .ok_or_else(|| bad(format!("bad day line {line:?}")))?;
+                days.push(d);
+            }
+            Some(other) => return Err(bad(format!("unknown directive {other:?}"))),
+            None => {}
+        }
+    }
+    if !days.is_sorted() {
+        return Err(bad("days out of order".to_owned()));
+    }
+    Ok(Manifest {
+        version,
+        availability,
+        days,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Why one segment was dropped from a degraded snapshot load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentQuarantine {
+    /// The segment file does not exist.
+    Missing,
+    /// The segment file could not be read.
+    Io,
+    /// The header or structure is invalid (bad magic, version,
+    /// endianness, table id, day, or sizes that do not add up).
+    Header,
+    /// The payload checksum does not match the header.
+    Checksum,
+    /// The per-segment reject ratio exceeded the ceiling.
+    RejectRatio,
+}
+
+impl fmt::Display for SegmentQuarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SegmentQuarantine::Missing => "missing file",
+            SegmentQuarantine::Io => "i/o failure",
+            SegmentQuarantine::Header => "invalid header",
+            SegmentQuarantine::Checksum => "checksum mismatch",
+            SegmentQuarantine::RejectRatio => "reject ceiling exceeded",
+        })
+    }
+}
+
+/// Outcome of loading one segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Table the segment belongs to.
+    pub table: &'static str,
+    /// Partition day.
+    pub day: i64,
+    /// `None` when the segment loaded; the reason when it was dropped.
+    pub quarantined: Option<SegmentQuarantine>,
+    /// Rows decoded successfully.
+    pub rows: usize,
+    /// Rows rejected by per-row validation.
+    pub rejected: usize,
+}
+
+/// What a resilient snapshot load accepted, rejected, and quarantined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotReport {
+    /// Table-level rollup, interoperable with the CSV path's report
+    /// (quarantined segments surface as rejected rows **only** via
+    /// [`SnapshotReport::segments`]; a table is quarantined here only
+    /// when the manifest marks it unavailable).
+    pub load: LoadReport,
+    /// Per-segment outcomes, in (day, table) order.
+    pub segments: Vec<SegmentStats>,
+    /// Day partitions of the loaded dataset (recomputed after
+    /// normalization, so quarantined segments are simply absent).
+    pub partitions: PartitionMap,
+}
+
+impl SnapshotReport {
+    /// Segments dropped by the load.
+    #[must_use]
+    pub fn quarantined_segments(&self) -> Vec<&SegmentStats> {
+        self.segments
+            .iter()
+            .filter(|s| s.quarantined.is_some())
+            .collect()
+    }
+}
+
+/// One decoded segment, or the reason it could not be decoded.
+struct SegmentOutcome {
+    records: DecodedRows,
+    rejected: usize,
+    quarantine: Option<(SegmentQuarantine, String)>,
+    /// First row-level rejection, for diagnostics.
+    first_row_error: Option<String>,
+}
+
+impl SegmentOutcome {
+    fn fail(table: &str, q: SegmentQuarantine, detail: impl Into<String>) -> Self {
+        SegmentOutcome {
+            records: DecodedRows::empty(table),
+            rejected: 0,
+            quarantine: Some((q, detail.into())),
+            first_row_error: None,
+        }
+    }
+}
+
+/// Validates header + structure of a raw segment; returns
+/// `(rows, string_count, payload)` on success.
+fn check_segment<'a>(
+    table: &'static str,
+    day: i64,
+    bytes: &'a [u8],
+) -> Result<(usize, usize, &'a [u8]), (SegmentQuarantine, String)> {
+    use SegmentQuarantine as Q;
+    if bytes.len() < HEADER_LEN {
+        return Err((Q::Header, format!("file too short ({} bytes)", bytes.len())));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    let i64_at = |o: usize| i64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    if bytes[..8] != MAGIC {
+        return Err((Q::Header, "bad magic".to_owned()));
+    }
+    if u32_at(8) != FORMAT_VERSION {
+        return Err((Q::Header, format!("unsupported version {}", u32_at(8))));
+    }
+    if u32_at(12) != ENDIAN_TAG {
+        return Err((Q::Header, "endianness mismatch".to_owned()));
+    }
+    if u32_at(16) != table_id(table) {
+        return Err((Q::Header, format!("wrong table id {}", u32_at(16))));
+    }
+    if i64_at(24) != day {
+        return Err((Q::Header, format!("wrong day {}", i64_at(24))));
+    }
+    let rows = u64_at(32) as usize;
+    let string_count = u32_at(40) as usize;
+    let payload_len = u64_at(48) as usize;
+    if bytes.len() - HEADER_LEN != payload_len {
+        return Err((
+            Q::Header,
+            format!(
+                "payload length {} does not match file size {}",
+                payload_len,
+                bytes.len()
+            ),
+        ));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if checksum(payload) != u64_at(CHECKSUM_OFFSET) {
+        return Err((Q::Checksum, "payload checksum mismatch".to_owned()));
+    }
+    Ok((rows, string_count, payload))
+}
+
+/// A parsed string table plus the raw column bytes that follow it.
+type PayloadParts<'a> = (Vec<&'a str>, &'a [u8]);
+
+/// Splits the payload into the parsed string table and the column bytes,
+/// verifying the sizes add up exactly.
+fn split_payload<'a>(
+    table: &str,
+    rows: usize,
+    string_count: usize,
+    payload: &'a [u8],
+) -> Result<PayloadParts<'a>, (SegmentQuarantine, String)> {
+    use SegmentQuarantine as Q;
+    let mut at = 0usize;
+    let mut strings = Vec::with_capacity(string_count);
+    for i in 0..string_count {
+        if at + 4 > payload.len() {
+            return Err((Q::Header, format!("string {i} runs past payload")));
+        }
+        let len = u32::from_le_bytes(payload[at..at + 4].try_into().unwrap()) as usize;
+        at += 4;
+        if at + len > payload.len() {
+            return Err((Q::Header, format!("string {i} runs past payload")));
+        }
+        let s = std::str::from_utf8(&payload[at..at + len])
+            .map_err(|_| (Q::Header, format!("string {i} is not UTF-8")))?;
+        strings.push(s);
+        at += len;
+    }
+    let cols = &payload[at..];
+    let want = rows * row_width(table);
+    if cols.len() != want {
+        return Err((
+            Q::Header,
+            format!("column section is {} bytes, expected {want}", cols.len()),
+        ));
+    }
+    Ok((strings, cols))
+}
+
+/// Memoized per-entry `Location` parse over a segment's string table.
+struct LocationCache<'a> {
+    strings: &'a [&'a str],
+    parsed: Vec<Option<Result<Location, ()>>>,
+}
+
+impl<'a> LocationCache<'a> {
+    fn new(strings: &'a [&'a str]) -> Self {
+        LocationCache {
+            strings,
+            parsed: vec![None; strings.len()],
+        }
+    }
+
+    fn get(&mut self, idx: u32) -> Result<Location, String> {
+        let i = idx as usize;
+        if i >= self.strings.len() {
+            return Err(format!("location string index {idx} out of range"));
+        }
+        let entry = self.parsed[i].get_or_insert_with(|| {
+            self.strings[i].parse::<Location>().map_err(|_| ())
+        });
+        (*entry).map_err(|()| format!("bad location {:?}", self.strings[i]))
+    }
+}
+
+/// Batch-interns the message strings a segment's message column
+/// actually references: one global pool lock per segment instead of one
+/// per distinct string. Returns a per-string-table-entry symbol vector
+/// (`None` for entries the column never references, e.g. locations).
+fn intern_messages(strings: &[&str], message_col: &[u32]) -> Vec<Option<MsgText>> {
+    let mut referenced = vec![false; strings.len()];
+    for &m in message_col {
+        if let Some(r) = referenced.get_mut(m as usize) {
+            *r = true;
+        }
+    }
+    let idxs: Vec<usize> = (0..strings.len()).filter(|&i| referenced[i]).collect();
+    let texts: Vec<&str> = idxs.iter().map(|&i| strings[i]).collect();
+    let syms = MsgText::intern_all(&texts);
+    let mut out = vec![None; strings.len()];
+    for (&i, &sym) in idxs.iter().zip(&syms) {
+        out[i] = Some(sym);
+    }
+    out
+}
+
+/// Decodes all rows of a validated segment, skipping rows that fail
+/// per-row validation (bad enum code, invalid block, bad location, …).
+fn decode_rows<R, F>(rows: usize, mut decode: F) -> (Vec<R>, usize, Option<String>)
+where
+    F: FnMut(usize) -> Result<R, String>,
+{
+    let mut out = Vec::with_capacity(rows);
+    let mut rejected = 0usize;
+    let mut first = None;
+    for i in 0..rows {
+        match decode(i) {
+            Ok(r) => out.push(r),
+            Err(e) => {
+                rejected += 1;
+                if first.is_none() {
+                    first = Some(format!("row {i}: {e}"));
+                }
+            }
+        }
+    }
+    (out, rejected, first)
+}
+
+fn enum_decode<T: Copy>(all: &[T], code: u8, what: &str) -> Result<T, String> {
+    all.get(code as usize)
+        .copied()
+        .ok_or_else(|| format!("bad {what} code {code}"))
+}
+
+fn block_decode(start: u16, len: u16) -> Result<Block, String> {
+    Block::new(start, len).map_err(|e| format!("bad block: {e}"))
+}
+
+/// Reads and decodes one segment file.
+fn read_segment(table: &'static str, day: i64, root: &Path) -> SegmentOutcome {
+    use SegmentQuarantine as Q;
+    let path = segment_path(root, table, day);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            return SegmentOutcome::fail(table, Q::Missing, format!("{}: {e}", path.display()))
+        }
+        Err(e) => return SegmentOutcome::fail(table, Q::Io, format!("{}: {e}", path.display())),
+    };
+    let (rows, string_count, payload) = match check_segment(table, day, &bytes) {
+        Ok(v) => v,
+        Err((q, detail)) => return SegmentOutcome::fail(table, q, detail),
+    };
+    let (strings, cols) = match split_payload(table, rows, string_count, payload) {
+        Ok(v) => v,
+        Err((q, detail)) => return SegmentOutcome::fail(table, q, detail),
+    };
+    let c = ColumnReader::new(table, rows, cols);
+    let (records, rejected, first) = match table {
+        "jobs" => {
+            let job_id = c.u64s(0);
+            let user = c.u32s(1);
+            let project = c.u32s(2);
+            let queue = c.u8s(3);
+            let nodes = c.u32s(4);
+            let mode = c.u8s(5);
+            let walltime = c.u32s(6);
+            let queued_at = c.i64s(7);
+            let started_at = c.i64s(8);
+            let ended_at = c.i64s(9);
+            let block_start = c.u16s(10);
+            let block_len = c.u16s(11);
+            let exit_code = c.i32s(12);
+            let num_tasks = c.u32s(13);
+            let (r, n, f) = decode_rows(rows, |i| {
+                Ok(JobRecord {
+                    job_id: JobId::new(job_id[i]),
+                    user: UserId::new(user[i]),
+                    project: ProjectId::new(project[i]),
+                    queue: enum_decode(&Queue::ALL, queue[i], "queue")?,
+                    nodes: nodes[i],
+                    mode: Mode::new(mode[i]).ok_or_else(|| format!("bad mode {}", mode[i]))?,
+                    requested_walltime_s: walltime[i],
+                    queued_at: Timestamp::from_secs(queued_at[i]),
+                    started_at: Timestamp::from_secs(started_at[i]),
+                    ended_at: Timestamp::from_secs(ended_at[i]),
+                    block: block_decode(block_start[i], block_len[i])?,
+                    exit_code: exit_code[i],
+                    num_tasks: num_tasks[i],
+                })
+            });
+            (DecodedRows::Jobs(r), n, f)
+        }
+        "ras" => {
+            let mut locs = LocationCache::new(&strings);
+            let rec_id = c.u64s(0);
+            let msg_id = c.u32s(1);
+            let severity = c.u8s(2);
+            let category = c.u8s(3);
+            let component = c.u8s(4);
+            let event_time = c.i64s(5);
+            let location = c.u32s(6);
+            let count = c.u32s(7);
+            let message = c.u32s(8);
+            let msgs = intern_messages(&strings, &message);
+            let (r, n, f) = decode_rows(rows, |i| {
+                Ok(RasRecord {
+                    rec_id: RecId::new(rec_id[i]),
+                    msg_id: MsgId::new(msg_id[i]),
+                    severity: enum_decode(&Severity::ALL, severity[i], "severity")?,
+                    category: enum_decode(&Category::ALL, category[i], "category")?,
+                    component: enum_decode(&Component::ALL, component[i], "component")?,
+                    event_time: Timestamp::from_secs(event_time[i]),
+                    location: locs.get(location[i])?,
+                    count: count[i],
+                    message: msgs
+                        .get(message[i] as usize)
+                        .and_then(|m| *m)
+                        .ok_or_else(|| {
+                            format!("message string index {} out of range", message[i])
+                        })?,
+                })
+            });
+            (DecodedRows::Ras(r), n, f)
+        }
+        "tasks" => {
+            let task_id = c.u64s(0);
+            let job_id = c.u64s(1);
+            let seq = c.u32s(2);
+            let block_start = c.u16s(3);
+            let block_len = c.u16s(4);
+            let started_at = c.i64s(5);
+            let ended_at = c.i64s(6);
+            let ranks = c.u64s(7);
+            let exit_code = c.i32s(8);
+            let (r, n, f) = decode_rows(rows, |i| {
+                Ok(TaskRecord {
+                    task_id: TaskId::new(task_id[i]),
+                    job_id: JobId::new(job_id[i]),
+                    seq: seq[i],
+                    block: block_decode(block_start[i], block_len[i])?,
+                    started_at: Timestamp::from_secs(started_at[i]),
+                    ended_at: Timestamp::from_secs(ended_at[i]),
+                    ranks: ranks[i],
+                    exit_code: exit_code[i],
+                })
+            });
+            (DecodedRows::Tasks(r), n, f)
+        }
+        _ => {
+            let job_id = c.u64s(0);
+            let bytes_read = c.u64s(1);
+            let bytes_written = c.u64s(2);
+            let files_read = c.u32s(3);
+            let files_written = c.u32s(4);
+            let io_time_s = c.u64s(5);
+            let (r, n, f) = decode_rows(rows, |i| {
+                Ok(IoRecord {
+                    job_id: JobId::new(job_id[i]),
+                    bytes_read: bytes_read[i],
+                    bytes_written: bytes_written[i],
+                    files_read: files_read[i],
+                    files_written: files_written[i],
+                    io_time_s: f64::from_bits(io_time_s[i]),
+                })
+            });
+            (DecodedRows::Io(r), n, f)
+        }
+    };
+    // Rejected rows alone never quarantine here; the caller applies the
+    // per-segment ceiling and decides.
+    SegmentOutcome {
+        records,
+        rejected,
+        quarantine: None,
+        first_row_error: first,
+    }
+}
+
+/// Decoded rows of one segment, tagged by table.
+enum DecodedRows {
+    Jobs(Vec<JobRecord>),
+    Ras(Vec<RasRecord>),
+    Tasks(Vec<TaskRecord>),
+    Io(Vec<IoRecord>),
+}
+
+impl DecodedRows {
+    fn empty(table: &str) -> Self {
+        match table {
+            "jobs" => DecodedRows::Jobs(Vec::new()),
+            "ras" => DecodedRows::Ras(Vec::new()),
+            "tasks" => DecodedRows::Tasks(Vec::new()),
+            _ => DecodedRows::Io(Vec::new()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            DecodedRows::Jobs(r) => r.len(),
+            DecodedRows::Ras(r) => r.len(),
+            DecodedRows::Tasks(r) => r.len(),
+            DecodedRows::Io(r) => r.len(),
+        }
+    }
+
+    fn table(&self) -> &'static str {
+        match self {
+            DecodedRows::Jobs(_) => "jobs",
+            DecodedRows::Ras(_) => "ras",
+            DecodedRows::Tasks(_) => "tasks",
+            DecodedRows::Io(_) => "io",
+        }
+    }
+}
+
+/// Strict load of a snapshot directory: every table must be available
+/// and every segment must decode cleanly.
+///
+/// The returned dataset is in canonical order and the [`PartitionMap`]
+/// describes its day partitions.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on a missing/invalid manifest, an
+/// unavailable table, or any segment-level or row-level failure.
+pub fn read_dir(root: &Path) -> Result<(Dataset, PartitionMap), SnapshotError> {
+    let opts = LoadOptions {
+        max_reject_ratio: 0.0,
+        max_retries: 0,
+        degraded: false,
+    };
+    let (ds, report) = read_dir_with(root, &opts)?;
+    Ok((ds, report.partitions))
+}
+
+/// Resilient load of a snapshot directory.
+///
+/// `opts.max_reject_ratio` is enforced **per segment**; a segment whose
+/// ratio trips the ceiling — or that is missing, unreadable, or fails
+/// its checksum — is quarantined under `opts.degraded` (the rest of the
+/// table still loads) and is a hard error otherwise. A table the
+/// manifest marks unavailable is quarantined whole (reason `Missing`)
+/// under `opts.degraded` and a hard error otherwise.
+///
+/// # Errors
+///
+/// See above; all failures surface as [`SnapshotError`].
+pub fn read_dir_with(
+    root: &Path,
+    opts: &LoadOptions,
+) -> Result<(Dataset, SnapshotReport), SnapshotError> {
+    let _span = bgq_obs::span!("snapshot.load");
+    let manifest = read_manifest(root)?;
+    let limit = if opts.max_reject_ratio.is_nan() {
+        0.0
+    } else {
+        opts.max_reject_ratio
+    };
+    let mut ds = Dataset::new();
+    let mut report = SnapshotReport {
+        load: LoadReport::default(),
+        segments: Vec::new(),
+        partitions: PartitionMap::default(),
+    };
+    // Prefetch every segment in parallel: each is an independent
+    // read+decode, and the accounting below consumes the outcomes in
+    // deterministic (table-major, day-ascending) order, so strict-mode
+    // errors and degraded reports are identical to a sequential pass.
+    let work: Vec<(&'static str, i64)> = TABLES
+        .iter()
+        .filter(|t| manifest.availability.available(t))
+        .flat_map(|&t| manifest.days.iter().map(move |&d| (t, d)))
+        .collect();
+    let decoded = bgq_par::par_map(&work, |&(t, d)| read_segment(t, d, root));
+    // Reserve the final tables once: appending ~2000 day segments into
+    // unsized vectors would re-copy each table log₂(segments) times.
+    let mut totals = [0usize; 4];
+    for out in &decoded {
+        totals[table_id(out.records.table()) as usize] += out.records.len();
+    }
+    ds.jobs.reserve(totals[0]);
+    ds.ras.reserve(totals[1]);
+    ds.tasks.reserve(totals[2]);
+    ds.io.reserve(totals[3]);
+    let mut outcomes: std::vec::IntoIter<SegmentOutcome> = decoded.into_iter();
+    for table in TABLES {
+        let mut stats = TableLoadStats {
+            table,
+            status: TableStatus::Loaded,
+            rows: 0,
+            rejected_csv: 0,
+            rejected_schema: 0,
+            retries: 0,
+            first_schema_error: None,
+        };
+        if !manifest.availability.available(table) {
+            if !opts.degraded {
+                return Err(SnapshotError::Unavailable { table });
+            }
+            stats.status = TableStatus::Quarantined(QuarantineReason::Missing);
+            bgq_obs::add_labeled("store.quarantined", table, 1);
+            report.load.tables.push(stats);
+            continue;
+        }
+        for &day in &manifest.days {
+            let mut out = outcomes.next().expect("one outcome per scheduled segment");
+            // Per-segment reject ceiling: one corrupt day must not hide
+            // under the whole-table aggregate (nor fail the other 2000).
+            if out.quarantine.is_none() {
+                let scanned = out.records.len() + out.rejected;
+                let ratio = if scanned == 0 {
+                    0.0
+                } else {
+                    out.rejected as f64 / scanned as f64
+                };
+                if ratio > limit {
+                    let detail = out
+                        .first_row_error
+                        .clone()
+                        .unwrap_or_else(|| "rows rejected".to_owned());
+                    if !opts.degraded {
+                        return Err(SnapshotError::RejectRatio {
+                            table,
+                            day,
+                            rejected: out.rejected,
+                            rows: scanned,
+                            limit,
+                        });
+                    }
+                    out.quarantine = Some((SegmentQuarantine::RejectRatio, detail));
+                }
+            }
+            match out.quarantine {
+                Some((q, detail)) => {
+                    if !opts.degraded {
+                        return Err(SnapshotError::Segment { table, day, detail });
+                    }
+                    bgq_obs::add_labeled("snapshot.quarantined_segments", table, 1);
+                    bgq_obs::warn!("segment {table}/day {day}: quarantined ({q}): {detail}");
+                    report.segments.push(SegmentStats {
+                        table,
+                        day,
+                        quarantined: Some(q),
+                        rows: 0,
+                        rejected: out.rejected,
+                    });
+                }
+                None => {
+                    stats.rows += out.records.len();
+                    stats.rejected_schema += out.rejected;
+                    report.segments.push(SegmentStats {
+                        table,
+                        day,
+                        quarantined: None,
+                        rows: out.records.len(),
+                        rejected: out.rejected,
+                    });
+                    match out.records {
+                        DecodedRows::Jobs(mut r) => ds.jobs.append(&mut r),
+                        DecodedRows::Ras(mut r) => ds.ras.append(&mut r),
+                        DecodedRows::Tasks(mut r) => ds.tasks.append(&mut r),
+                        DecodedRows::Io(mut r) => ds.io.append(&mut r),
+                    }
+                }
+            }
+        }
+        bgq_obs::add_labeled("snapshot.rows", table, stats.rows as u64);
+        bgq_obs::add_labeled("snapshot.rejected", table, stats.rejected_schema as u64);
+        report.load.tables.push(stats);
+    }
+    // Segments arrive in day order with canonical order inside each, so
+    // jobs/ras/tasks are already canonical; I/O is grouped by day and
+    // needs its global by-job-id order restored. `normalize` pins the
+    // persistence-boundary contract either way.
+    ds.normalize();
+    report.partitions = PartitionMap::of_dataset(&ds);
+    Ok((ds, report))
+}
+
+// ---------------------------------------------------------------------------
+// Byte-surgery helpers (chaos harness)
+// ---------------------------------------------------------------------------
+
+/// Parsed header of a raw segment file, for byte-level fault injection.
+///
+/// This intentionally re-derives offsets from the declared column
+/// layout, so the chaos harness can flip specific bytes and predict the
+/// exact outcome without duplicating the format constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentLayout {
+    /// Table the segment claims to hold.
+    pub table: &'static str,
+    /// Partition day from the header.
+    pub day: i64,
+    /// Row count from the header.
+    pub rows: usize,
+    /// String-table entry count from the header.
+    pub string_count: usize,
+    /// Byte length of the string section within the payload.
+    pub string_bytes: usize,
+    /// Payload length from the header.
+    pub payload_len: usize,
+}
+
+impl SegmentLayout {
+    /// Parses the header (and string section extent) of a raw segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the structural problem.
+    pub fn parse(bytes: &[u8]) -> Result<SegmentLayout, String> {
+        if bytes.len() < HEADER_LEN {
+            return Err("file too short".to_owned());
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let i64_at = |o: usize| i64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        if bytes[..8] != MAGIC {
+            return Err("bad magic".to_owned());
+        }
+        let table = TABLES
+            .get(u32_at(16) as usize)
+            .copied()
+            .ok_or_else(|| format!("bad table id {}", u32_at(16)))?;
+        let rows = u64_at(32) as usize;
+        let string_count = u32_at(40) as usize;
+        let payload = &bytes[HEADER_LEN..];
+        let mut at = 0usize;
+        for _ in 0..string_count {
+            if at + 4 > payload.len() {
+                return Err("string table runs past payload".to_owned());
+            }
+            let len = u32::from_le_bytes(payload[at..at + 4].try_into().unwrap()) as usize;
+            at += 4 + len;
+            if at > payload.len() {
+                return Err("string table runs past payload".to_owned());
+            }
+        }
+        Ok(SegmentLayout {
+            table,
+            day: i64_at(24),
+            rows,
+            string_count,
+            string_bytes: at,
+            payload_len: u64_at(48) as usize,
+        })
+    }
+
+    /// Absolute byte range of one column's packed array within the file,
+    /// with its element width: `(file_offset, elem_width)`.
+    #[must_use]
+    pub fn column(&self, name: &str) -> Option<(usize, usize)> {
+        let mut at = HEADER_LEN + self.string_bytes;
+        for (col, w) in columns(self.table) {
+            if *col == name {
+                return Some((at, *w));
+            }
+            at += self.rows * w;
+        }
+        None
+    }
+}
+
+/// Recomputes the payload checksum and payload length of a (possibly
+/// modified) segment buffer and writes them back into the header — the
+/// chaos harness uses this to produce segments whose *contents* are
+/// poisoned but whose envelope is pristine.
+pub fn reseal(bytes: &mut [u8]) {
+    assert!(bytes.len() >= HEADER_LEN, "segment too short to reseal");
+    let payload_len = (bytes.len() - HEADER_LEN) as u64;
+    bytes[48..56].copy_from_slice(&payload_len.to_le_bytes());
+    let sum = checksum(&bytes[HEADER_LEN..]);
+    bytes[CHECKSUM_OFFSET..CHECKSUM_OFFSET + 8].copy_from_slice(&sum.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_model::Location;
+
+    fn job(id: u64, start: i64) -> JobRecord {
+        JobRecord {
+            job_id: JobId::new(id),
+            user: UserId::new(7),
+            project: ProjectId::new(3),
+            queue: Queue::Production,
+            nodes: 512,
+            mode: Mode::default(),
+            requested_walltime_s: 3600,
+            queued_at: Timestamp::from_secs(start - 60),
+            started_at: Timestamp::from_secs(start),
+            ended_at: Timestamp::from_secs(start + 100),
+            block: Block::new(0, 1).unwrap(),
+            exit_code: 0,
+            num_tasks: 1,
+        }
+    }
+
+    fn ras(id: u64, t: i64) -> RasRecord {
+        RasRecord {
+            rec_id: RecId::new(id),
+            msg_id: MsgId::new(0x0001_0001),
+            severity: Severity::Fatal,
+            category: Category::Ddr,
+            component: Component::Mc,
+            event_time: Timestamp::from_secs(t),
+            location: "R00-M0-N01".parse::<Location>().unwrap(),
+            message: "DDR corrected, \"bank 2\", rank=3".into(),
+            count: 1,
+        }
+    }
+
+    fn task(id: u64, job: u64, start: i64) -> TaskRecord {
+        TaskRecord {
+            task_id: TaskId::new(id),
+            job_id: JobId::new(job),
+            seq: 0,
+            block: Block::new(0, 1).unwrap(),
+            started_at: Timestamp::from_secs(start),
+            ended_at: Timestamp::from_secs(start + 50),
+            ranks: 512,
+            exit_code: 0,
+        }
+    }
+
+    fn io(job: u64) -> IoRecord {
+        IoRecord {
+            job_id: JobId::new(job),
+            bytes_read: 1 << 33,
+            bytes_written: 123,
+            files_read: 9,
+            files_written: 2,
+            io_time_s: 55.125,
+        }
+    }
+
+    /// A dataset spanning two partition days.
+    fn sample() -> Dataset {
+        let d0 = 1_365_465_600; // Mira epoch, day 15804 exactly
+        let d1 = d0 + SECS_PER_DAY;
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, d0 + 100), job(2, d0 + 200), job(3, d1 + 100)];
+        ds.ras = vec![ras(1, d0 + 150), ras(2, d1 + 50), ras(3, d1 + 60)];
+        ds.tasks = vec![task(1, 1, d0 + 100), task(2, 3, d1 + 100)];
+        ds.io = vec![io(1), io(3)];
+        ds.normalize();
+        ds
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bgq-snap-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_two_days() {
+        let ds = sample();
+        let root = tmp("roundtrip");
+        let stats = write_dir(&ds, &root, &SourceAvailability::ALL).unwrap();
+        assert_eq!(stats.days, 2);
+        assert_eq!(stats.segments, 8, "two days x four tables");
+        let (loaded, parts) = read_dir(&root).unwrap();
+        assert_eq!(loaded, ds);
+        assert_eq!(parts.days.len(), 2);
+        assert_eq!(parts.days[0].day, 15804);
+        assert_eq!(parts.days[0].jobs, 0..2);
+        assert_eq!(parts.days[1].jobs, 2..3);
+        assert_eq!(parts.days[0].ras, 0..1);
+        assert_eq!(parts.days[1].ras, 1..3);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unsorted_input_is_written_canonically() {
+        let mut ds = sample();
+        ds.jobs.reverse();
+        ds.ras.reverse();
+        ds.io.reverse();
+        let root = tmp("unsorted");
+        write_dir(&ds, &root, &SourceAvailability::ALL).unwrap();
+        let (loaded, _) = read_dir(&root).unwrap();
+        let mut want = ds.clone();
+        want.normalize();
+        assert_eq!(loaded, want);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_manifest_is_a_manifest_error() {
+        let root = tmp("nomanifest");
+        std::fs::create_dir_all(&root).unwrap();
+        assert!(matches!(
+            read_dir(&root).unwrap_err(),
+            SnapshotError::Manifest { .. }
+        ));
+        assert!(!is_snapshot_dir(&root));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_payload_fails_strict_quarantines_degraded() {
+        let ds = sample();
+        let root = tmp("corrupt");
+        write_dir(&ds, &root, &SourceAvailability::ALL).unwrap();
+        // Flip one payload byte of the day-15804 jobs segment.
+        let path = segment_path(&root, "jobs", 15804);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[HEADER_LEN] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = read_dir(&root).unwrap_err();
+        assert!(matches!(err, SnapshotError::Segment { table: "jobs", day: 15804, .. }), "{err}");
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = read_dir_with(&root, &opts).unwrap();
+        // The day-15804 jobs are gone; day-15805 jobs survive.
+        assert_eq!(loaded.jobs.len(), 1);
+        assert_eq!(loaded.jobs[0].job_id, JobId::new(3));
+        assert_eq!(loaded.ras.len(), 3, "other tables untouched");
+        let q = report.quarantined_segments();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].table, "jobs");
+        assert_eq!(q[0].day, 15804);
+        assert_eq!(q[0].quarantined, Some(SegmentQuarantine::Checksum));
+        // Table-level rollup still says "jobs loaded" (partial data).
+        assert_eq!(report.load.table("jobs").unwrap().status, TableStatus::Loaded);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn poisoned_row_trips_per_segment_ceiling() {
+        let ds = sample();
+        let root = tmp("poison");
+        write_dir(&ds, &root, &SourceAvailability::ALL).unwrap();
+        // Poison the severity of one RAS row on day 15805 (two rows), then
+        // reseal so the envelope stays valid.
+        let path = segment_path(&root, "ras", 15805);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let layout = SegmentLayout::parse(&bytes).unwrap();
+        assert_eq!(layout.rows, 2);
+        let (off, w) = layout.column("severity").unwrap();
+        assert_eq!(w, 1);
+        bytes[off] = 0xee;
+        reseal(&mut bytes);
+        std::fs::write(&path, &bytes).unwrap();
+        // Strict: hard error naming the segment.
+        assert!(read_dir(&root).is_err());
+        // Degraded with a permissive ceiling: the row is skipped, the
+        // segment survives.
+        let opts = LoadOptions {
+            max_reject_ratio: 0.5,
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = read_dir_with(&root, &opts).unwrap();
+        assert_eq!(loaded.ras.len(), 2);
+        let seg = report
+            .segments
+            .iter()
+            .find(|s| s.table == "ras" && s.day == 15805)
+            .unwrap();
+        assert_eq!(seg.rejected, 1);
+        assert_eq!(seg.quarantined, None);
+        // Degraded with a zero ceiling: the whole segment is quarantined,
+        // but the clean day-15804 segment still loads — the ceiling is
+        // per segment, not per table.
+        let opts = LoadOptions {
+            max_reject_ratio: 0.0,
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = read_dir_with(&root, &opts).unwrap();
+        assert_eq!(loaded.ras.len(), 1);
+        assert_eq!(loaded.ras[0].rec_id, RecId::new(1));
+        let q = report.quarantined_segments();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].quarantined, Some(SegmentQuarantine::RejectRatio));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unavailable_table_roundtrips_as_quarantined() {
+        let ds = sample();
+        let root = tmp("unavail");
+        let avail = SourceAvailability {
+            ras: false,
+            ..SourceAvailability::ALL
+        };
+        let stats = write_dir(&ds, &root, &avail).unwrap();
+        assert_eq!(stats.segments, 6, "ras segments are not written");
+        // Strict load refuses: the snapshot is incomplete.
+        assert!(matches!(
+            read_dir(&root).unwrap_err(),
+            SnapshotError::Unavailable { table: "ras" }
+        ));
+        // Degraded load re-quarantines ras as Missing — provenance kept.
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = read_dir_with(&root, &opts).unwrap();
+        assert!(loaded.ras.is_empty());
+        assert_eq!(
+            report.load.table("ras").unwrap().status,
+            TableStatus::Quarantined(QuarantineReason::Missing)
+        );
+        assert_eq!(report.load.availability().missing(), vec!["ras"]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_segment_is_quarantined_as_header() {
+        let ds = sample();
+        let root = tmp("trunc");
+        write_dir(&ds, &root, &SourceAvailability::ALL).unwrap();
+        let path = segment_path(&root, "tasks", 15804);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (_, report) = read_dir_with(&root, &opts).unwrap();
+        let q = report.quarantined_segments();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].quarantined, Some(SegmentQuarantine::Header));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn deleted_segment_is_quarantined_as_missing() {
+        let ds = sample();
+        let root = tmp("delseg");
+        write_dir(&ds, &root, &SourceAvailability::ALL).unwrap();
+        std::fs::remove_file(segment_path(&root, "io", 15804)).unwrap();
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (loaded, report) = read_dir_with(&root, &opts).unwrap();
+        assert_eq!(loaded.io.len(), 1);
+        assert_eq!(
+            report.quarantined_segments()[0].quarantined,
+            Some(SegmentQuarantine::Missing)
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        // Pinned vectors for the four-lane word FNV: any change here is
+        // a wire-format break and must regenerate the committed fixture
+        // snapshot (`BGQ_UPDATE_SNAPSHOT_FIXTURE=1 cargo test`).
+        assert_eq!(checksum(b""), 0xf1fc_e322_bc1d_af2f);
+        assert_eq!(checksum(b"a"), 0x4fa7_fe05_a782_fac7);
+        assert_eq!(checksum(&[0u8; 32]), 0x9528_79fb_8620_4fa3);
+
+        // Single-byte perturbations anywhere must change the hash:
+        // block lanes, tail, and a pure-extension (length fold).
+        let base: Vec<u8> = (0..=70u8).collect();
+        let h = checksum(&base);
+        for i in 0..base.len() {
+            let mut b = base.clone();
+            b[i] ^= 0x01;
+            assert_ne!(checksum(&b), h, "flip at {i} undetected");
+        }
+        assert_ne!(checksum(&base[..64]), h, "truncation undetected");
+        assert_ne!(checksum(&[0u8; 64]), checksum(&[0u8; 32]), "zero-extension undetected");
+    }
+
+    #[test]
+    fn partition_map_of_dataset_matches_write_partitioning() {
+        let ds = sample();
+        let map = PartitionMap::of_dataset(&ds);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.days[0].tasks, 0..1);
+        assert_eq!(map.days[1].tasks, 1..2);
+    }
+}

@@ -415,34 +415,68 @@ impl Dataset {
     /// Writes the four tables as `jobs.csv`, `ras.csv`, `tasks.csv`,
     /// `io.csv` under `dir` (created if needed).
     ///
+    /// Equivalent to [`Dataset::save_dir_with`] with every source
+    /// available — only correct for a dataset that actually holds all
+    /// four tables. After a **degraded** load, pass the report's
+    /// [`LoadReport::availability`] to `save_dir_with` instead, or the
+    /// quarantined tables are silently persisted as empty-but-valid
+    /// files and the quarantine provenance is lost on the next load.
+    ///
     /// # Errors
     ///
     /// Returns [`StoreError`] on any filesystem or encoding failure.
     pub fn save_dir(&self, dir: &Path) -> Result<(), StoreError> {
+        self.save_dir_with(dir, &SourceAvailability::ALL)
+    }
+
+    /// Availability-aware save: writes only the tables `avail` marks
+    /// present and **removes** the files of absent ones, so a reload
+    /// re-quarantines them as missing instead of seeing a clean empty
+    /// table.
+    ///
+    /// This is the persistence half of the quarantine contract: a
+    /// degraded load's [`LoadReport::availability`] round-trips through
+    /// disk instead of being erased by the save.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] on any filesystem or encoding failure.
+    pub fn save_dir_with(
+        &self,
+        dir: &Path,
+        avail: &SourceAvailability,
+    ) -> Result<(), StoreError> {
         std::fs::create_dir_all(dir).map_err(|source| StoreError::Io {
             path: dir.display().to_string(),
             source,
         })?;
-        save_table(dir, &self.jobs)?;
-        save_table(dir, &self.ras)?;
-        save_table(dir, &self.tasks)?;
-        save_table(dir, &self.io)?;
+        save_table_available(dir, &self.jobs, avail)?;
+        save_table_available(dir, &self.ras, avail)?;
+        save_table_available(dir, &self.tasks, avail)?;
+        save_table_available(dir, &self.io, avail)?;
         Ok(())
     }
 
     /// Loads a dataset previously written by [`Dataset::save_dir`].
+    ///
+    /// The result is always in canonical order ([`Dataset::normalize`])
+    /// regardless of the row order on disk: the persistence boundary
+    /// pins the order contract, so a dataset saved before normalization
+    /// and one saved after load identically.
     ///
     /// # Errors
     ///
     /// Returns [`StoreError`] on missing files, malformed CSV, or rows that
     /// fail schema validation.
     pub fn load_dir(dir: &Path) -> Result<Self, StoreError> {
-        Ok(Dataset {
+        let mut ds = Dataset {
             jobs: load_table(dir)?,
             ras: load_table(dir)?,
             tasks: load_table(dir)?,
             io: load_table(dir)?,
-        })
+        };
+        ds.normalize();
+        Ok(ds)
     }
 
     /// Resilient load: damaged rows are counted and skipped instead of
@@ -479,12 +513,15 @@ impl Dataset {
         opts: &LoadOptions,
     ) -> Result<(Self, LoadReport), StoreError> {
         let mut report = LoadReport::default();
-        let ds = Dataset {
+        let mut ds = Dataset {
             jobs: load_table_resilient(source, opts, &mut report)?,
             ras: load_table_resilient(source, opts, &mut report)?,
             tasks: load_table_resilient(source, opts, &mut report)?,
             io: load_table_resilient(source, opts, &mut report)?,
         };
+        // Same canonical-order contract as the strict path: what a load
+        // returns is normalized, whatever order the rows had on disk.
+        ds.normalize();
         Ok((ds, report))
     }
 
@@ -496,6 +533,27 @@ impl Dataset {
 
 fn table_path(dir: &Path, table: &str) -> std::path::PathBuf {
     dir.join(format!("{table}.csv"))
+}
+
+/// Writes one table when `avail` marks it present; otherwise removes
+/// any stale file so a reload sees absence, not a clean empty table.
+fn save_table_available<R: Record>(
+    dir: &Path,
+    rows: &[R],
+    avail: &SourceAvailability,
+) -> Result<(), StoreError> {
+    if avail.available(R::TABLE) {
+        return save_table(dir, rows);
+    }
+    let path = table_path(dir, R::TABLE);
+    match std::fs::remove_file(&path) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+        Err(source) => Err(StoreError::Io {
+            path: path.display().to_string(),
+            source,
+        }),
+    }
 }
 
 fn save_table<R: Record>(dir: &Path, rows: &[R]) -> Result<(), StoreError> {
@@ -1166,6 +1224,105 @@ mod tests {
             assert_eq!(t.retries, LoadOptions::default().max_retries);
         }
         assert!(!report.availability().is_complete());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_normalizes_unsorted_input() {
+        // Regression pin: `load_dir` used to return rows in file order,
+        // so a dataset saved before normalization round-tripped in a
+        // different order than one saved after, and order-sensitive
+        // consumers (index fingerprints, golden manifests) diverged.
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-unsorted-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        // Deliberately unsorted: later rows first.
+        ds.jobs = vec![job(2, 200), job(1, 100)];
+        ds.ras = vec![ras(2, 150), ras(1, 50)];
+        ds.save_dir(&dir).unwrap();
+        let mut want = ds.clone();
+        want.normalize();
+        assert_ne!(ds, want, "the input really is out of order");
+        let strict = Dataset::load_dir(&dir).unwrap();
+        assert_eq!(strict, want, "strict load must normalize");
+        let (lenient, _) = Dataset::load_dir_with(&dir, &LoadOptions::default()).unwrap();
+        assert_eq!(lenient, want, "resilient load must normalize");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_save_preserves_quarantine_provenance() {
+        // Regression pin for the availability-aware save: persisting a
+        // degraded dataset with plain `save_dir` writes the quarantined
+        // table as an empty-but-valid CSV, so a reload reports it
+        // Loaded-with-0-rows and the quarantine provenance is lost.
+        // `save_dir_with(availability)` keeps the absence on disk.
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-degraded-save-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.ras = vec![ras(1, 50)];
+        ds.normalize();
+        ds.save_dir(&dir).unwrap();
+        std::fs::remove_file(dir.join("ras.csv")).unwrap();
+        let opts = LoadOptions {
+            degraded: true,
+            ..LoadOptions::default()
+        };
+        let (degraded, report) = Dataset::load_dir_with(&dir, &opts).unwrap();
+        assert!(!report.availability().ras);
+
+        // The pre-fix behavior (plain save_dir): provenance is erased.
+        let lossy = dir.join("lossy");
+        degraded.save_dir(&lossy).unwrap();
+        let (_, relecture) = Dataset::load_dir_with(&lossy, &opts).unwrap();
+        assert_eq!(
+            relecture.table("ras").unwrap().status,
+            TableStatus::Loaded,
+            "plain save_dir launders the quarantine into a clean empty table"
+        );
+
+        // The fix: availability-aware save round-trips the quarantine.
+        let kept = dir.join("kept");
+        degraded
+            .save_dir_with(&kept, &report.availability())
+            .unwrap();
+        assert!(!kept.join("ras.csv").exists(), "absent table is not written");
+        let (reloaded, rereport) = Dataset::load_dir_with(&kept, &opts).unwrap();
+        assert_eq!(reloaded.jobs, degraded.jobs);
+        assert_eq!(
+            rereport.table("ras").unwrap().status,
+            TableStatus::Quarantined(QuarantineReason::Missing)
+        );
+        assert_eq!(rereport.availability(), report.availability());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_dir_with_removes_stale_files_of_absent_tables() {
+        let dir = std::env::temp_dir().join(format!(
+            "bgq-logs-stale-save-{}",
+            std::process::id()
+        ));
+        let mut ds = Dataset::new();
+        ds.jobs = vec![job(1, 100)];
+        ds.ras = vec![ras(1, 50)];
+        ds.normalize();
+        // First save writes everything; the second (without ras) must
+        // remove the stale ras.csv rather than leave it behind.
+        ds.save_dir(&dir).unwrap();
+        assert!(dir.join("ras.csv").exists());
+        let avail = SourceAvailability {
+            ras: false,
+            ..SourceAvailability::ALL
+        };
+        ds.save_dir_with(&dir, &avail).unwrap();
+        assert!(!dir.join("ras.csv").exists());
+        assert!(dir.join("jobs.csv").exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

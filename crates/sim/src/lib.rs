@@ -44,5 +44,5 @@ pub mod workload;
 
 pub use config::SimConfig;
 pub use incidents::Incident;
-pub use sim::{generate, SimOutput};
+pub use sim::{generate, generate_to_snapshot, SimOutput};
 pub use truth::GroundTruth;

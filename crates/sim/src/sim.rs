@@ -1,6 +1,9 @@
 //! Top-level generation: config in, four logs + ground truth out.
 
-use bgq_logs::store::Dataset;
+use std::path::Path;
+
+use bgq_logs::snapshot::{self, SnapshotError, SnapshotWriteStats};
+use bgq_logs::store::{Dataset, SourceAvailability};
 use bgq_model::ids::{JobId, RecId, TaskId};
 use bgq_model::{JobRecord, Span, TaskRecord};
 use rand::rngs::StdRng;
@@ -136,6 +139,31 @@ pub fn generate(config: &SimConfig) -> SimOutput {
     SimOutput { dataset, truth }
 }
 
+/// Generates a trace and writes it **directly** as a partitioned columnar
+/// snapshot — no CSV encode/parse round-trip in between. The generator
+/// normalizes its output, so the write slices the dataset into day
+/// segments without re-sorting.
+///
+/// Returns the generated output (for ground-truth checks) together with
+/// the write statistics.
+///
+/// # Errors
+///
+/// Returns the underlying [`SnapshotError`] when the directory cannot be
+/// written.
+///
+/// # Panics
+///
+/// Panics if the config fails [`SimConfig::validate`].
+pub fn generate_to_snapshot(
+    config: &SimConfig,
+    dir: &Path,
+) -> Result<(SimOutput, SnapshotWriteStats), SnapshotError> {
+    let output = generate(config);
+    let stats = snapshot::write_dir(&output.dataset, dir, &SourceAvailability::ALL)?;
+    Ok((output, stats))
+}
+
 fn to_job_record(job_id: JobId, job: &ScheduledJob, population: &Population) -> JobRecord {
     let user = &population.users()[job.spec.user_idx];
     JobRecord {
@@ -201,6 +229,18 @@ mod tests {
 
     fn small_output() -> SimOutput {
         generate(&SimConfig::small(20).with_seed(11))
+    }
+
+    #[test]
+    fn generate_to_snapshot_round_trips() {
+        let dir = std::env::temp_dir().join(format!("bgq-sim-snap-{}", std::process::id()));
+        let (out, stats) =
+            generate_to_snapshot(&SimConfig::small(4).with_seed(8), &dir).unwrap();
+        assert!(stats.days > 0 && stats.segments == stats.days * 4);
+        let (loaded, parts) = bgq_logs::snapshot::read_dir(&dir).unwrap();
+        assert_eq!(loaded, out.dataset);
+        assert_eq!(parts.days.len(), stats.days);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! 2. **Exact accounting** — per-table rows / CSV rejects / schema
 //!    rejects / quarantine status must match the injector's
 //!    [`TableLedger`] to the row, and the surviving records themselves
-//!    must be exactly the rows the ledger predicts (in order).
+//!    must be exactly the rows the ledger predicts, in the dataset's
+//!    canonical order (loads normalize at the persistence boundary, so
+//!    file order never leaks into expectations).
 //! 3. **Baseline equivalence** — whenever corruption touched only rows
 //!    that end up rejected (spliced garbage, no-op modes), the analysis
 //!    must be bit-identical to the clean-run baseline.
@@ -21,18 +23,21 @@
 //! 64-seed corpus is `#[ignore]`d and run by CI in release in all three
 //! feature legs, mirroring the oracle corpus.
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
 
 use bgq_chaos::{
-    corrupt_table, plan_for_seed, ChaosLedger, FaultDir, FaultSpec, RowFate, TableLedger,
+    corrupt_segment, corrupt_table, plan_for_seed, ChaosLedger, FaultDir, FaultSpec, RowFate,
+    SegmentCorruption, SegmentFate, SplitMix64, TableLedger, ALL_SEGMENT_MODES,
 };
 use bgq_core::analysis::Analysis;
+use bgq_logs::snapshot::{self, day_of, segment_path, SegmentQuarantine};
 use bgq_logs::store::{
     Dataset, LoadOptions, LoadReport, QuarantineReason, TableStatus,
 };
 use bgq_model::Timestamp;
-use bgq_sim::{generate, SimConfig};
+use bgq_sim::{generate, generate_to_snapshot, SimConfig};
 
 struct Baseline {
     dir: PathBuf,
@@ -72,7 +77,10 @@ fn copy_dataset(from: &Path, to: &Path) {
     }
 }
 
-/// The survivor rows the ledger predicts, built from the clean originals.
+/// The survivor rows the ledger predicts, built from the clean
+/// originals. Returned in ledger order; callers sort into the dataset's
+/// canonical order before comparing, because every load path now
+/// normalizes at the persistence boundary.
 fn expect_rows<T: Clone>(orig: &[T], ledger: &TableLedger, shift: impl Fn(&mut T, i64)) -> Vec<T> {
     ledger
         .survivors
@@ -125,26 +133,30 @@ fn assert_table_matches(report: &LoadReport, loaded: &Dataset, ledger: &TableLed
     let base = &baseline().ds;
     match ledger.table {
         "jobs" => {
-            let want = expect_rows(&base.jobs, ledger, |j, d| {
+            let mut want = expect_rows(&base.jobs, ledger, |j, d| {
                 shift_ts(&mut j.queued_at, d);
                 shift_ts(&mut j.started_at, d);
                 shift_ts(&mut j.ended_at, d);
             });
+            want.sort_by_key(|j| (j.started_at, j.job_id));
             assert_eq!(loaded.jobs, want, "jobs survivors must match the ledger");
         }
         "ras" => {
-            let want = expect_rows(&base.ras, ledger, |r, d| shift_ts(&mut r.event_time, d));
+            let mut want = expect_rows(&base.ras, ledger, |r, d| shift_ts(&mut r.event_time, d));
+            want.sort_by_key(|r| (r.event_time, r.rec_id));
             assert_eq!(loaded.ras, want, "ras survivors must match the ledger");
         }
         "tasks" => {
-            let want = expect_rows(&base.tasks, ledger, |t, d| {
+            let mut want = expect_rows(&base.tasks, ledger, |t, d| {
                 shift_ts(&mut t.started_at, d);
                 shift_ts(&mut t.ended_at, d);
             });
+            want.sort_by_key(|t| (t.started_at, t.task_id));
             assert_eq!(loaded.tasks, want, "tasks survivors must match the ledger");
         }
         "io" => {
-            let want = expect_rows(&base.io, ledger, |_, _| {});
+            let mut want = expect_rows(&base.io, ledger, |_, _| {});
+            want.sort_by_key(|r| r.job_id);
             assert_eq!(loaded.io, want, "io survivors must match the ledger");
         }
         other => panic!("unknown table {other}"),
@@ -342,6 +354,275 @@ fn transient_read_fault_is_retried_to_a_clean_load() {
     assert_eq!(report.table("ras").unwrap().retries, 1);
     assert_eq!(report.table("tasks").unwrap().retries, 0);
     assert_eq!(source.opens("jobs"), 2, "one failed open plus one clean rescan");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot-segment corruption: the same ledger-exact discipline over
+// the binary columnar store.
+// ---------------------------------------------------------------------------
+
+struct SnapshotBaseline {
+    dir: PathBuf,
+    ds: Dataset,
+}
+
+/// The shared clean snapshot: generated once, written once. The dataset
+/// kept here is the canonical (normalized) form the snapshot encodes.
+fn snapshot_baseline() -> &'static SnapshotBaseline {
+    static BASE: OnceLock<SnapshotBaseline> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let dir =
+            std::env::temp_dir().join(format!("bgq-chaos-snap-base-{}", std::process::id()));
+        let (out, stats) =
+            generate_to_snapshot(&SimConfig::small(6).with_seed(7), &dir).expect("write snapshot");
+        assert!(stats.segments > 0, "corpus needs segments");
+        let mut ds = out.dataset;
+        ds.normalize();
+        SnapshotBaseline { dir, ds }
+    })
+}
+
+fn copy_snapshot(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), to.join(entry.file_name())).unwrap();
+    }
+}
+
+/// Global row indices of `table` that the snapshot writer places in the
+/// `day` segment (jobs/tasks key on `started_at`, ras on `event_time`,
+/// io on the owning job's start day, day 0 for orphans).
+fn rows_in_segment(ds: &Dataset, table: &str, day: i64) -> Vec<usize> {
+    let job_days: HashMap<_, _> = ds
+        .jobs
+        .iter()
+        .map(|j| (j.job_id, day_of(j.started_at)))
+        .collect();
+    let day_at = |i: usize| match table {
+        "jobs" => day_of(ds.jobs[i].started_at),
+        "ras" => day_of(ds.ras[i].event_time),
+        "tasks" => day_of(ds.tasks[i].started_at),
+        "io" => job_days.get(&ds.io[i].job_id).copied().unwrap_or(0),
+        other => panic!("unknown table {other}"),
+    };
+    let len = match table {
+        "jobs" => ds.jobs.len(),
+        "ras" => ds.ras.len(),
+        "tasks" => ds.tasks.len(),
+        "io" => ds.io.len(),
+        _ => unreachable!(),
+    };
+    (0..len).filter(|&i| day_at(i) == day).collect()
+}
+
+/// A day on which `table` has rows — every mode then has a real target.
+fn segment_day_with_rows(base: &SnapshotBaseline, table: &str) -> Option<i64> {
+    let manifest = snapshot::read_manifest(&base.dir).expect("manifest");
+    manifest
+        .days
+        .iter()
+        .copied()
+        .find(|&d| !rows_in_segment(&base.ds, table, d).is_empty())
+}
+
+/// Every segment corruption mode against every table: the degraded load
+/// must report exactly the fate the ledger predicts — the quarantine
+/// reason for envelope attacks, the exact reject count for row poison —
+/// and every untouched segment must be untouched.
+#[test]
+fn segment_corruption_matches_ledger_exactly() {
+    let base = snapshot_baseline();
+    let opts = LoadOptions {
+        max_reject_ratio: 1.0,
+        degraded: true,
+        ..LoadOptions::default()
+    };
+    let mut case = 0u64;
+    for mode in ALL_SEGMENT_MODES {
+        for table in bgq_chaos::TABLES {
+            case += 1;
+            if !mode.applicable(table, 1) {
+                continue;
+            }
+            let Some(day) = segment_day_with_rows(base, table) else {
+                continue;
+            };
+            let case_dir = std::env::temp_dir().join(format!(
+                "bgq-chaos-seg-{case}-{}",
+                std::process::id()
+            ));
+            copy_snapshot(&base.dir, &case_dir);
+            let mut rng = SplitMix64::new(0xC0FFEE ^ case);
+            let target = segment_path(&case_dir, table, day);
+            let ledger = corrupt_segment(&target, mode, &mut rng).expect("corrupt segment");
+            let seg_rows = rows_in_segment(&base.ds, table, day);
+            assert_eq!(ledger.table, table, "{}", ledger.to_json());
+            assert_eq!(ledger.day, day, "{}", ledger.to_json());
+            assert_eq!(
+                ledger.rows,
+                seg_rows.len(),
+                "ledger row count must match the writer's partition: {}",
+                ledger.to_json()
+            );
+
+            // Strict load (zero reject ceiling, no degraded mode, as the
+            // CLI pins for snapshots) refuses the corruption outright.
+            let strict = snapshot::read_dir_with(
+                &case_dir,
+                &LoadOptions {
+                    max_reject_ratio: 0.0,
+                    ..LoadOptions::default()
+                },
+            );
+            assert!(
+                strict.is_err(),
+                "strict load must fail for {}/{}",
+                table,
+                ledger.mode.name()
+            );
+
+            // Degraded load: ledger-exact per-segment accounting.
+            let (loaded, report) =
+                snapshot::read_dir_with(&case_dir, &opts).expect("degraded load");
+            let lost = match ledger.fate {
+                SegmentFate::Quarantined(reason) => {
+                    let stats = report
+                        .segments
+                        .iter()
+                        .find(|s| s.table == table && s.day == day)
+                        .expect("attacked segment must appear in the report");
+                    assert_eq!(stats.quarantined, Some(reason), "{}", ledger.to_json());
+                    assert_eq!(stats.rows, 0, "{}", ledger.to_json());
+                    ledger.rows
+                }
+                SegmentFate::RowsRejected(k) => {
+                    let stats = report
+                        .segments
+                        .iter()
+                        .find(|s| s.table == table && s.day == day)
+                        .expect("attacked segment must appear in the report");
+                    assert_eq!(stats.quarantined, None, "{}", ledger.to_json());
+                    assert_eq!(stats.rejected, k, "{}", ledger.to_json());
+                    assert_eq!(stats.rows, ledger.rows - k, "{}", ledger.to_json());
+                    k
+                }
+            };
+            for s in &report.segments {
+                if s.table != table || s.day != day {
+                    assert_eq!(s.quarantined, None, "untouched segment quarantined");
+                    assert_eq!(s.rejected, 0, "untouched segment rejected rows");
+                }
+            }
+            let loaded_len = |ds: &Dataset| match table {
+                "jobs" => ds.jobs.len(),
+                "ras" => ds.ras.len(),
+                "tasks" => ds.tasks.len(),
+                "io" => ds.io.len(),
+                _ => unreachable!(),
+            };
+            assert_eq!(
+                loaded_len(&loaded),
+                loaded_len(&base.ds) - lost,
+                "loss must be exactly the attacked segment's toll: {}",
+                ledger.to_json()
+            );
+            // A whole-segment quarantine loses exactly that day: the
+            // survivors are the baseline minus the segment, in order.
+            if let SegmentFate::Quarantined(_) = ledger.fate {
+                let drop: std::collections::HashSet<usize> = seg_rows.into_iter().collect();
+                let keep = |len: usize| (0..len).filter(|i| !drop.contains(i));
+                match table {
+                    "jobs" => assert_eq!(
+                        loaded.jobs,
+                        keep(base.ds.jobs.len())
+                            .map(|i| base.ds.jobs[i].clone())
+                            .collect::<Vec<_>>()
+                    ),
+                    "ras" => assert_eq!(
+                        loaded.ras,
+                        keep(base.ds.ras.len())
+                            .map(|i| base.ds.ras[i].clone())
+                            .collect::<Vec<_>>()
+                    ),
+                    "tasks" => assert_eq!(
+                        loaded.tasks,
+                        keep(base.ds.tasks.len())
+                            .map(|i| base.ds.tasks[i].clone())
+                            .collect::<Vec<_>>()
+                    ),
+                    "io" => assert_eq!(
+                        loaded.io,
+                        keep(base.ds.io.len())
+                            .map(|i| base.ds.io[i].clone())
+                            .collect::<Vec<_>>()
+                    ),
+                    _ => unreachable!(),
+                }
+            }
+
+            // The analysis survives whatever remained.
+            let _ = Analysis::run_degraded(&loaded, &report.load.availability());
+            std::fs::remove_dir_all(&case_dir).ok();
+        }
+    }
+}
+
+/// The per-segment reject ceiling: poisoned rows that pass under a
+/// generous ratio flip the whole segment into a `RejectRatio`
+/// quarantine when the ceiling is zero — other days still load.
+#[test]
+fn poisoned_segment_trips_the_reject_ceiling_per_partition() {
+    let base = snapshot_baseline();
+    let day = segment_day_with_rows(base, "jobs").expect("jobs segment with rows");
+    let case_dir = std::env::temp_dir().join(format!(
+        "bgq-chaos-seg-ceiling-{}",
+        std::process::id()
+    ));
+    copy_snapshot(&base.dir, &case_dir);
+    let mut rng = SplitMix64::new(99);
+    let ledger = corrupt_segment(
+        &segment_path(&case_dir, "jobs", day),
+        SegmentCorruption::PoisonRows,
+        &mut rng,
+    )
+    .expect("poison");
+    let SegmentFate::RowsRejected(k) = ledger.fate else {
+        panic!("poison must predict row rejects, got {}", ledger.to_json());
+    };
+
+    // Ceiling 0.0, degraded: the poisoned day quarantines as RejectRatio.
+    let opts = LoadOptions {
+        max_reject_ratio: 0.0,
+        degraded: true,
+        ..LoadOptions::default()
+    };
+    let (loaded, report) = snapshot::read_dir_with(&case_dir, &opts).expect("degraded load");
+    let stats = report
+        .segments
+        .iter()
+        .find(|s| s.table == "jobs" && s.day == day)
+        .expect("segment stats");
+    assert_eq!(stats.quarantined, Some(SegmentQuarantine::RejectRatio));
+    let seg_rows = rows_in_segment(&base.ds, "jobs", day).len();
+    assert_eq!(loaded.jobs.len(), base.ds.jobs.len() - seg_rows);
+
+    // Generous ceiling: only the poisoned rows are lost.
+    let opts = LoadOptions {
+        max_reject_ratio: 1.0,
+        degraded: true,
+        ..LoadOptions::default()
+    };
+    let (loaded, report) = snapshot::read_dir_with(&case_dir, &opts).expect("degraded load");
+    let stats = report
+        .segments
+        .iter()
+        .find(|s| s.table == "jobs" && s.day == day)
+        .expect("segment stats");
+    assert_eq!(stats.quarantined, None);
+    assert_eq!(stats.rejected, k);
+    assert_eq!(loaded.jobs.len(), base.ds.jobs.len() - k);
+    std::fs::remove_dir_all(&case_dir).ok();
 }
 
 /// Permanent read faults: strict mode fails, degraded mode quarantines

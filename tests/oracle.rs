@@ -13,6 +13,7 @@
 //! | `attribute_events` (indexed join)       | quadratic scan join                   | bit-exact  |
 //! | `utilization_series` (interval clip)    | per-second stepping                   | bit-exact  |
 //! | streaming interned `Dataset` load       | original in-memory records            | bit-exact  |
+//! | columnar snapshot round-trip            | original in-memory records            | bit-exact  |
 //!
 //! Random cases come from the vendored proptest harness (so failures
 //! shrink to minimal draw streams); the `#[ignore]`d corpus test replays
@@ -25,7 +26,8 @@
 use bgq_core::queueing::utilization_series;
 use bgq_logs::interval::IntervalIndex;
 use bgq_logs::join::attribute_events;
-use bgq_logs::store::{Dataset, LoadOptions};
+use bgq_logs::snapshot;
+use bgq_logs::store::{Dataset, LoadOptions, SourceAvailability};
 use bgq_model::{Machine, Severity, Span, Timestamp};
 use bgq_oracle::cases::{self, AdversarialCase};
 use bgq_oracle::{binning, join as refjoin, ranking, stabbing, utilization};
@@ -213,15 +215,19 @@ fn check_interned_roundtrip(case: &AdversarialCase, dir: &std::path::Path) {
         })
         .collect();
     ds.save_dir(dir).expect("save corpus case");
+    // Loads normalize at the persistence boundary, so the round-trip
+    // target is the canonical form of the original records.
+    let mut canonical = ds.clone();
+    canonical.normalize();
     let strict = Dataset::load_dir(dir).expect("strict load");
     assert_eq!(
-        strict, ds,
+        strict, canonical,
         "strict streaming round-trip diverged (seed {})",
         case.seed
     );
     let (lenient, report) = Dataset::load_dir_with(dir, &LoadOptions::default()).expect("lenient");
     assert_eq!(
-        lenient, ds,
+        lenient, canonical,
         "lenient streaming round-trip diverged (seed {})",
         case.seed
     );
@@ -232,10 +238,67 @@ fn check_interned_roundtrip(case: &AdversarialCase, dir: &std::path::Path) {
             .iter()
             .map(|a| (a.event_idx, a.job_idx))
             .collect();
-        let want = refjoin::scan_join(&case.jobs, &case.events, severity);
+        let want = refjoin::scan_join(&canonical.jobs, &canonical.ras, severity);
         assert_eq!(
             got, want,
             "join over interned round-trip diverged at {severity:?} (seed {})",
+            case.seed
+        );
+    }
+}
+
+/// Cross-checks the binary snapshot store against the in-memory
+/// records: the case's jobs and events go through `write_dir` /
+/// `read_dir` (strict) and `read_dir_with` (degraded, generous
+/// ceiling), both loads must equal the canonical form of the original
+/// dataset exactly, and `attribute_events` over the round-tripped
+/// records must produce the pairs the quadratic reference produces over
+/// that same canonical form.
+fn check_snapshot_roundtrip(case: &AdversarialCase, dir: &std::path::Path) {
+    let mut ds = Dataset::new();
+    ds.jobs = case.jobs.clone();
+    ds.ras = case.events.clone();
+    let mut canonical = ds.clone();
+    canonical.normalize();
+    snapshot::write_dir(&ds, dir, &SourceAvailability::ALL).expect("write snapshot");
+    let (strict, parts) = snapshot::read_dir(dir).expect("strict snapshot load");
+    assert_eq!(
+        strict, canonical,
+        "strict snapshot round-trip diverged (seed {})",
+        case.seed
+    );
+    let rows = |f: fn(&snapshot::PartitionSpan) -> usize| -> usize {
+        parts.days.iter().map(f).sum()
+    };
+    assert_eq!(rows(|s| s.jobs.len()), canonical.jobs.len(), "seed {}", case.seed);
+    assert_eq!(rows(|s| s.ras.len()), canonical.ras.len(), "seed {}", case.seed);
+    let opts = LoadOptions {
+        max_reject_ratio: 1.0,
+        degraded: true,
+        ..LoadOptions::default()
+    };
+    let (lenient, report) = snapshot::read_dir_with(dir, &opts).expect("degraded snapshot load");
+    assert_eq!(
+        lenient, canonical,
+        "degraded snapshot round-trip diverged (seed {})",
+        case.seed
+    );
+    assert_eq!(
+        report.load.total_rejected(),
+        0,
+        "clean snapshot rejected rows (seed {})",
+        case.seed
+    );
+    for severity in Severity::ALL {
+        let got: Vec<(usize, usize)> = attribute_events(&strict.jobs, &strict.ras, severity)
+            .pairs
+            .iter()
+            .map(|a| (a.event_idx, a.job_idx))
+            .collect();
+        let want = refjoin::scan_join(&canonical.jobs, &canonical.ras, severity);
+        assert_eq!(
+            got, want,
+            "join over snapshot round-trip diverged at {severity:?} (seed {})",
             case.seed
         );
     }
@@ -369,6 +432,7 @@ fn fixed_seed_adversarial_corpus() {
         check_join(&case);
         check_utilization(&case);
         check_interned_roundtrip(&case, &base.join(seed.to_string()));
+        check_snapshot_roundtrip(&case, &base.join(format!("{seed}-snap")));
     }
     let _ = std::fs::remove_dir_all(&base);
 }
