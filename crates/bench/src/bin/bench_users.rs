@@ -1,0 +1,362 @@
+//! Million-user benchmark: columnar per-user aggregation vs the old
+//! BTreeMap map-scan, retry-chain mining, and the streaming space-saving
+//! sketch vs an exact top-k tally, at 10⁴ / 10⁵ / 10⁶ Zipf users.
+//!
+//! This is the acceptance harness for the million-user scale-out:
+//! `scripts/bench_users.sh` captures the emitted JSON into the committed
+//! `BENCH_users.json` and enforces the floors at the largest scale —
+//! the columnar engine must beat the map-scan by the configured factor
+//! on wall time *with strictly lower peak memory*, and the sketch's
+//! top-k must sit within its ε·W error bound of the exact tally at
+//! every scale.
+//!
+//! Wall time is the median of `BGQ_BENCH_USERS_ITERS` in-process runs
+//! (all inputs are resident either way — per-user aggregation is a
+//! compute pass, not an ingest pass, so there is no cold/warm split).
+//! Peak memory is the `bgq_obs::alloc` live-byte high-water mark of one
+//! dedicated run, rebased to the live level at entry so the resident
+//! job log does not count against either strategy; it needs the
+//! `obs-alloc` feature and reports zero (with `"alloc_tracking":
+//! false`) without it.
+//!
+//! Emits one JSON document on stdout (progress goes to stderr).
+//!
+//! Knobs:
+//! * `BGQ_BENCH_FAST=1` — CI smoke mode: 10⁴ users only, one timing
+//!   iteration, no floor-worthy numbers (the script skips the floor
+//!   check in fast mode).
+//! * `BGQ_BENCH_USERS_ITERS` — timing iterations per measurement
+//!   (default 3; the median is reported).
+//! * `BGQ_BENCH_USERS` — comma-separated user-count ladder overriding
+//!   the default (e.g. `BGQ_BENCH_USERS=1000000`).
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use bgq_core::chains::mine_chains;
+use bgq_core::columnar::per_user_columnar;
+use bgq_core::jobstats::EntityActivity;
+use bgq_model::{JobRecord, Machine};
+use bgq_sim::{generate_jobs_only, SimConfig};
+use bgq_stats::topk::SpaceSaving;
+
+/// Capacity 10⁴ counters: overestimates bounded by W / 10⁴.
+const EPSILON: f64 = 1e-4;
+const TOP_K: usize = 10;
+
+fn ms(from: Instant) -> f64 {
+    from.elapsed().as_secs_f64() * 1e3
+}
+
+/// Median of `iters` runs of `f` (results discarded; `f` must be a pure
+/// measurement closure).
+fn median_ms(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..iters)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            ms(t)
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Peak live bytes allocated during one run of `f`, rebased to the live
+/// level at entry (zero when `obs-alloc` is compiled out).
+fn peak_bytes<T>(f: impl FnOnce() -> T) -> u64 {
+    let live = bgq_obs::alloc::stats().live_bytes;
+    bgq_obs::alloc::reset_peak();
+    std::hint::black_box(f());
+    bgq_obs::alloc::stats().peak_bytes.saturating_sub(live)
+}
+
+/// The pre-columnar per-user pass, preserved verbatim as the reference
+/// under test: one `BTreeMap` entry per distinct user for the whole
+/// dataset, pointer-chased once per job.
+fn per_user_map_scan(jobs: &[JobRecord]) -> Vec<EntityActivity> {
+    let mut map: BTreeMap<u32, (usize, usize, u64)> = BTreeMap::new();
+    for j in jobs {
+        let e = map.entry(j.user.raw()).or_default();
+        e.0 += 1;
+        e.1 += usize::from(j.exit_code != 0);
+        e.2 += j.node_seconds();
+    }
+    let cores = Machine::MIRA.cores_per_card() as f64;
+    let mut rows: Vec<EntityActivity> = map
+        .into_iter()
+        .map(|(id, (jobs, failed, node_seconds))| EntityActivity {
+            id,
+            jobs,
+            failed,
+            node_seconds,
+            core_hours: node_seconds as f64 * cores / 3_600.0,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.jobs.cmp(&a.jobs).then(a.id.cmp(&b.id)));
+    rows
+}
+
+/// Exact top-`k` by summed weight (ties broken by ascending key): the
+/// oracle the sketch is held against.
+fn exact_top_k(updates: &[(u64, u64)], k: usize) -> Vec<(u64, u64)> {
+    let mut tally: BTreeMap<u64, u64> = BTreeMap::new();
+    for &(key, w) in updates {
+        *tally.entry(key).or_default() += w;
+    }
+    let mut v: Vec<(u64, u64)> = tally.into_iter().collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    v.truncate(k);
+    v
+}
+
+fn build_sketch(updates: &[(u64, u64)]) -> SpaceSaving {
+    let mut sketch = SpaceSaving::with_epsilon(EPSILON);
+    for &(key, w) in updates {
+        sketch.update(key, w);
+    }
+    sketch
+}
+
+/// Every exact heavy hitter above the error bound must appear in the
+/// sketch with `true ≤ estimate ≤ true + bound` and an honest
+/// guaranteed lower bound.
+fn sketch_within_bound(updates: &[(u64, u64)]) -> (bool, u64, u64) {
+    let sketch = build_sketch(updates);
+    let bound = sketch.error_bound();
+    let truth: BTreeMap<u64, u64> = {
+        let mut t = BTreeMap::new();
+        for &(key, w) in updates {
+            *t.entry(key).or_default() += w;
+        }
+        t
+    };
+    let top = sketch.top(sketch.capacity());
+    let mut max_over = 0u64;
+    let mut ok = true;
+    for hh in &top {
+        let true_w = truth.get(&hh.key).copied().unwrap_or(0);
+        ok &= hh.count >= true_w; // never undercounts
+        ok &= hh.count - true_w <= bound; // overestimate within ε·W
+        ok &= hh.guaranteed() <= true_w; // lower bound is honest
+        max_over = max_over.max(hh.count - true_w);
+    }
+    // Heavy hitters the sketch may not miss: true weight above the bound.
+    let tracked: Vec<u64> = top.iter().map(|hh| hh.key).collect();
+    for (&key, &w) in &truth {
+        if w > bound {
+            ok &= tracked.contains(&key);
+        }
+    }
+    (ok, bound, max_over)
+}
+
+struct UserScaleResult {
+    users: u64,
+    jobs: usize,
+    distinct_users: usize,
+    gen_ms: f64,
+    map_scan_ms: f64,
+    columnar_ms: f64,
+    agg_speedup: f64,
+    map_scan_peak_bytes: u64,
+    columnar_peak_bytes: u64,
+    chains_ms: f64,
+    chains: usize,
+    linked_jobs: usize,
+    failed_updates: usize,
+    exact_top_k_ms: f64,
+    sketch_ms: f64,
+    exact_peak_bytes: u64,
+    sketch_peak_bytes: u64,
+    sketch_error_bound: u64,
+    sketch_max_overestimate: u64,
+    sketch_within_bound: bool,
+}
+
+fn config_for(users: u64) -> SimConfig {
+    // Three days at one fresh arrival per user per day: ~3 jobs/user
+    // plus the retry tail, so the map-scan's tree holds one entry per
+    // active user while each user still submits enough for Zipf heavy
+    // hitters to emerge.
+    SimConfig::small(3)
+        .with_seed(42)
+        .with_users(
+            u32::try_from(users).expect("user ladder fits u32"),
+            u32::try_from((users / 10).max(1)).expect("projects fit u32"),
+        )
+        .with_jobs_per_day(users as f64)
+        .with_retries(0.55)
+}
+
+fn run_scale(users: u64, iters: usize) -> UserScaleResult {
+    eprintln!("[bench_users] {users} users: generating ...");
+    let t = Instant::now();
+    let jobs = generate_jobs_only(&config_for(users));
+    let gen_ms = ms(t);
+    let distinct_users = {
+        let mut ids: Vec<u32> = jobs.iter().map(|j| j.user.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    };
+    eprintln!(
+        "[bench_users] {users} users: {} jobs from {distinct_users} distinct users ({gen_ms:.0} ms)",
+        jobs.len()
+    );
+
+    eprintln!("[bench_users] {users} users: per-user aggregation ({iters} iters) ...");
+    let map_scan_peak_bytes = peak_bytes(|| per_user_map_scan(&jobs));
+    let map_scan_ms = median_ms(iters, || {
+        std::hint::black_box(per_user_map_scan(&jobs));
+    });
+    let columnar_peak_bytes = peak_bytes(|| per_user_columnar(&jobs));
+    let columnar_ms = median_ms(iters, || {
+        std::hint::black_box(per_user_columnar(&jobs));
+    });
+    // Both paths must agree bit-for-bit before their timings mean anything.
+    assert_eq!(
+        per_user_map_scan(&jobs),
+        per_user_columnar(&jobs),
+        "columnar result diverged from the map-scan reference"
+    );
+
+    eprintln!("[bench_users] {users} users: chain mining ...");
+    let stats = mine_chains(&jobs);
+    let chains_ms = median_ms(iters, || {
+        std::hint::black_box(mine_chains(&jobs));
+    });
+
+    eprintln!("[bench_users] {users} users: heavy hitters, sketch vs exact ...");
+    // The heavy-hitter stream: node-seconds wasted per user, failures only.
+    let updates: Vec<(u64, u64)> = jobs
+        .iter()
+        .filter(|j| j.exit_code != 0)
+        .map(|j| (u64::from(j.user.raw()), j.node_seconds()))
+        .collect();
+    let exact_peak_bytes = peak_bytes(|| exact_top_k(&updates, TOP_K));
+    let exact_top_k_ms = median_ms(iters, || {
+        std::hint::black_box(exact_top_k(&updates, TOP_K));
+    });
+    let sketch_peak_bytes = peak_bytes(|| build_sketch(&updates));
+    let sketch_ms = median_ms(iters, || {
+        std::hint::black_box(build_sketch(&updates));
+    });
+    let (within, bound, max_over) = sketch_within_bound(&updates);
+    // The sketch's top slots must rank the true heavy hitters: every
+    // exact top-k key above the bound is present in the sketch's view.
+    let sketch_keys: Vec<u64> = build_sketch(&updates)
+        .top(TOP_K + SpaceSaving::with_epsilon(EPSILON).capacity())
+        .iter()
+        .map(|hh| hh.key)
+        .collect();
+    for (key, w) in exact_top_k(&updates, TOP_K) {
+        if w > bound {
+            assert!(
+                sketch_keys.contains(&key),
+                "exact heavy hitter {key} (weight {w}) missing from the sketch"
+            );
+        }
+    }
+
+    UserScaleResult {
+        users,
+        jobs: jobs.len(),
+        distinct_users,
+        gen_ms,
+        map_scan_ms,
+        columnar_ms,
+        agg_speedup: map_scan_ms / columnar_ms,
+        map_scan_peak_bytes,
+        columnar_peak_bytes,
+        chains_ms,
+        chains: stats.chains,
+        linked_jobs: stats.linked_jobs,
+        failed_updates: updates.len(),
+        exact_top_k_ms,
+        sketch_ms,
+        exact_peak_bytes,
+        sketch_peak_bytes,
+        sketch_error_bound: bound,
+        sketch_max_overestimate: max_over,
+        sketch_within_bound: within,
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("BGQ_BENCH_FAST").is_some();
+    let iters: usize = std::env::var("BGQ_BENCH_USERS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let scales: Vec<u64> = match std::env::var("BGQ_BENCH_USERS") {
+        Ok(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("BGQ_BENCH_USERS: bad user count"))
+            .collect(),
+        Err(_) if fast => vec![10_000],
+        Err(_) => vec![10_000, 100_000, 1_000_000],
+    };
+
+    let results: Vec<UserScaleResult> =
+        scales.iter().map(|&u| run_scale(u, iters)).collect();
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"BENCH_users\",\n");
+    out.push_str(
+        "  \"workload\": \"generate_jobs_only over 3 days at one fresh arrival \
+         per user per day, retry probability 0.55; per-user aggregation \
+         compared columnar vs BTreeMap map-scan; heavy hitters compared \
+         space-saving sketch (epsilon 1e-4) vs exact tally over failed-job \
+         node-seconds; peaks are live-byte high-water marks per run\",\n",
+    );
+    out.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    out.push_str(&format!("  \"iters\": {iters},\n"));
+    out.push_str(&format!("  \"available_parallelism\": {cores},\n"));
+    out.push_str(&format!(
+        "  \"alloc_tracking\": {},\n",
+        bgq_obs::alloc::tracking()
+    ));
+    out.push_str(&format!("  \"epsilon\": {EPSILON},\n"));
+    out.push_str("  \"scales\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"users\": {}, \"jobs\": {}, \"distinct_users\": {}, \
+             \"gen_ms\": {:.1}, \
+             \"map_scan_ms\": {:.1}, \"columnar_ms\": {:.1}, \
+             \"agg_speedup\": {:.2}, \
+             \"map_scan_peak_bytes\": {}, \"columnar_peak_bytes\": {}, \
+             \"chains_ms\": {:.1}, \"chains\": {}, \"linked_jobs\": {}, \
+             \"failed_updates\": {}, \
+             \"exact_top_k_ms\": {:.1}, \"sketch_ms\": {:.1}, \
+             \"exact_peak_bytes\": {}, \"sketch_peak_bytes\": {}, \
+             \"sketch_error_bound\": {}, \"sketch_max_overestimate\": {}, \
+             \"sketch_within_bound\": {}}}{}\n",
+            r.users,
+            r.jobs,
+            r.distinct_users,
+            r.gen_ms,
+            r.map_scan_ms,
+            r.columnar_ms,
+            r.agg_speedup,
+            r.map_scan_peak_bytes,
+            r.columnar_peak_bytes,
+            r.chains_ms,
+            r.chains,
+            r.linked_jobs,
+            r.failed_updates,
+            r.exact_top_k_ms,
+            r.sketch_ms,
+            r.exact_peak_bytes,
+            r.sketch_peak_bytes,
+            r.sketch_error_bound,
+            r.sketch_max_overestimate,
+            r.sketch_within_bound,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

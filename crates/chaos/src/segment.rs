@@ -40,15 +40,21 @@ pub enum SegmentCorruption {
     /// every structural check and fails per-row validation on exactly
     /// the poisoned rows.
     PoisonRows,
+    /// Rewrite the `resubmit_of` lineage column of `1..=3` random job
+    /// rows to all-ones and reseal: a forward-pointing chain link no
+    /// real log can carry, so the loader must reject exactly those rows
+    /// (never panic, never follow the link) and keep the rest.
+    PoisonLineage,
 }
 
 /// Every segment corruption mode, in a stable order.
-pub const ALL_SEGMENT_MODES: [SegmentCorruption; 5] = [
+pub const ALL_SEGMENT_MODES: [SegmentCorruption; 6] = [
     SegmentCorruption::FlipPayloadByte,
     SegmentCorruption::TruncateTail,
     SegmentCorruption::BadMagic,
     SegmentCorruption::DeleteSegment,
     SegmentCorruption::PoisonRows,
+    SegmentCorruption::PoisonLineage,
 ];
 
 impl SegmentCorruption {
@@ -61,6 +67,7 @@ impl SegmentCorruption {
             SegmentCorruption::BadMagic => "bad_magic",
             SegmentCorruption::DeleteSegment => "delete_segment",
             SegmentCorruption::PoisonRows => "poison_rows",
+            SegmentCorruption::PoisonLineage => "poison_lineage",
         }
     }
 
@@ -69,10 +76,13 @@ impl SegmentCorruption {
     /// `PoisonRows` needs rows to poison and a validated column to
     /// poison them through — the I/O table has neither enums nor blocks,
     /// so every bit pattern decodes and it cannot be row-poisoned.
+    /// `PoisonLineage` attacks the jobs table's `resubmit_of` column,
+    /// which no other table carries.
     #[must_use]
     pub fn applicable(self, table: &str, rows: usize) -> bool {
         match self {
             SegmentCorruption::PoisonRows => rows > 0 && poison_column(table).is_some(),
+            SegmentCorruption::PoisonLineage => rows > 0 && table == "jobs",
             _ => true,
         }
     }
@@ -208,6 +218,21 @@ pub fn corrupt_segment(
             std::fs::write(path, &bytes)?;
             SegmentFate::RowsRejected(k)
         }
+        SegmentCorruption::PoisonLineage => {
+            // All-ones is a forward link (≥ every job id, nonzero), so
+            // the loader's backwards-lineage check rejects the row.
+            let (offset, width) = layout
+                .column("resubmit_of")
+                .expect("jobs segments carry the lineage column");
+            let k = 1 + rng.below(layout.rows.min(3));
+            for row in rng.distinct(k, layout.rows) {
+                let at = offset + row * width;
+                bytes[at..at + width].fill(0xFF);
+            }
+            reseal(&mut bytes);
+            std::fs::write(path, &bytes)?;
+            SegmentFate::RowsRejected(k)
+        }
     };
     Ok(SegmentLedger {
         table: layout.table,
@@ -229,8 +254,19 @@ mod tests {
             assert!(!SegmentCorruption::PoisonRows.applicable(t, 0));
         }
         assert!(!SegmentCorruption::PoisonRows.applicable("io", 5));
+        assert!(SegmentCorruption::PoisonLineage.applicable("jobs", 5));
+        assert!(!SegmentCorruption::PoisonLineage.applicable("jobs", 0));
+        for t in ["ras", "tasks", "io"] {
+            assert!(!SegmentCorruption::PoisonLineage.applicable(t, 5));
+        }
         for m in ALL_SEGMENT_MODES {
-            assert!(m.applicable("io", 0) || m == SegmentCorruption::PoisonRows);
+            assert!(
+                m.applicable("io", 0)
+                    || matches!(
+                        m,
+                        SegmentCorruption::PoisonRows | SegmentCorruption::PoisonLineage
+                    )
+            );
         }
     }
 

@@ -116,6 +116,7 @@ GLOBAL FLAGS (valid before or after any command):
 
 USAGE:
   mira-mine gen --out DIR [--days N] [--seed S] [--full] [--snapshot]
+                [--users N [--projects P]] [--retry P]
       Generate a synthetic Mira trace into DIR (jobs/ras/tasks/io CSVs).
       --days N    horizon in days (default 60)
       --seed S    RNG seed (default 1)
@@ -123,6 +124,11 @@ USAGE:
                   unless --days is also given)
       --snapshot  emit a partitioned columnar snapshot instead of CSVs
                   (one binary segment per day per table; loads ~instantly)
+      --users N   size of the Zipf user population (with --projects P to
+                  also set the project count; default derives from N)
+      --retry P   probability in [0,1] that a user-caused failure is
+                  resubmitted (chained via the resubmit_of column;
+                  default 0 = retries off, byte-identical to older traces)
 
   mira-mine import SRC DEST
       Load a CSV trace from SRC and write it as a partitioned columnar
@@ -148,6 +154,15 @@ USAGE:
   mira-mine predict DIR
       Run the precursor-based fatal-incident predictor and print its
       precision/recall/lead-time evaluation.
+
+  mira-mine users DIR [--top K] [--epsilon E]
+      Mine the per-user behavior layer: columnar per-user aggregation,
+      retry-chain statistics (chain lengths, eventual success, give-up
+      rate, resubmit gaps, wasted work), and streaming heavy hitters by
+      wasted core-hours and failure count.
+      --top K      rows per heavy-hitter table (default 10)
+      --epsilon E  space-saving sketch error bound as a fraction of the
+                   total weight (default 0.0001; counters used = 1/E)
 
   mira-mine profile [DIR] [--days N] [--seed S]
                     [--baseline PATH [--check[=BUDGETS]]]
@@ -286,6 +301,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("filter") => cmd_filter(&rest[1..], &opts),
         Some("lifetime") => cmd_lifetime(&rest[1..], &opts),
         Some("predict") => cmd_predict(&rest[1..], &opts),
+        Some("users") => cmd_users(&rest[1..], &opts),
         Some("profile") => cmd_profile(&rest[1..], &opts),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
@@ -403,6 +419,23 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
         config.days = d;
     }
     config = config.with_seed(seed);
+    if let Some(users) = parse_num::<u32>(args, "--users")? {
+        // One project per ~10 users unless told otherwise, floored so a
+        // tiny population still has somewhere to charge its jobs.
+        let projects: u32 = parse_num(args, "--projects")?.unwrap_or((users / 10).max(1));
+        config = config.with_users(users, projects);
+    } else if parse_flag(args, "--projects")?.is_some() {
+        return Err(CliError::Usage("--projects requires --users".into()));
+    }
+    if let Some(retry) = parse_num::<f64>(args, "--retry")? {
+        if !(0.0..=1.0).contains(&retry) {
+            return Err(CliError::Usage("--retry must be between 0 and 1".into()));
+        }
+        config = config.with_retries(retry);
+    }
+    if let Err(msg) = config.validate() {
+        return Err(CliError::Usage(format!("invalid generation config: {msg}")));
+    }
     let (output, snapshot_stats) = if args.iter().any(|a| a == "--snapshot") {
         let (output, stats) = generate_to_snapshot(&config, &out_dir)?;
         (output, Some(stats))
@@ -759,6 +792,130 @@ fn cmd_predict(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
     Ok(degraded_banner(&avail) + &table.render())
 }
 
+/// `users DIR`: the million-user behavior layer — columnar per-user
+/// aggregation, retry-chain mining, and streaming heavy hitters.
+fn cmd_users(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    use bgq_stats::topk::SpaceSaving;
+
+    let k: usize = parse_num(args, "--top")?.unwrap_or(10);
+    let epsilon: f64 = parse_num(args, "--epsilon")?.unwrap_or(1e-4);
+    if !(epsilon > 0.0 && epsilon <= 1.0) {
+        return Err(CliError::Usage("--epsilon must be in (0, 1]".into()));
+    }
+    let dir = positional(args, &["--top", "--epsilon"])
+        .ok_or_else(|| CliError::Usage("users requires a dataset directory".into()))?;
+    let (ds, avail, _) = load_dataset(Path::new(dir), opts)?;
+    let _span = bgq_obs::span!("cli.users");
+
+    let rows = bgq_obs::time("cli.users.columnar", || {
+        bgq_core::columnar::per_user_columnar(&ds.jobs)
+    });
+    let chains = bgq_obs::time("cli.users.chains", || {
+        bgq_core::chains::mine_chains(&ds.jobs)
+    });
+    let (by_waste, by_fail) = bgq_obs::time("cli.users.sketch", || {
+        let mut waste = SpaceSaving::with_epsilon(epsilon);
+        let mut fail = SpaceSaving::with_epsilon(epsilon);
+        for j in ds.jobs.iter().filter(|j| j.exit_code != 0) {
+            waste.update(u64::from(j.user.raw()), j.node_seconds());
+            fail.update(u64::from(j.user.raw()), 1);
+        }
+        (waste, fail)
+    });
+
+    let ns_to_ch = |ns: u64| ns as f64 * 16.0 / 3_600.0;
+    let mut out = degraded_banner(&avail);
+    out.push_str(&format!(
+        "{} jobs across {} distinct users\n\n",
+        group_thousands(ds.jobs.len() as u64),
+        group_thousands(rows.len() as u64),
+    ));
+
+    let mut activity = Table::new(
+        vec!["user".into(), "jobs".into(), "failed".into(), "core-hours".into()],
+        vec![Align::Right, Align::Right, Align::Right, Align::Right],
+    );
+    for r in rows.iter().take(k) {
+        activity.row(vec![
+            r.id.to_string(),
+            group_thousands(r.jobs as u64),
+            group_thousands(r.failed as u64),
+            format!("{:.1}", r.core_hours),
+        ]);
+    }
+    out.push_str(&format!("top {k} users by job count:\n"));
+    out.push_str(&activity.render());
+
+    for (title, sketch, fmt) in [
+        (
+            "wasted core-hours (failed jobs)",
+            &by_waste,
+            &(|n: u64| format!("{:.1}", ns_to_ch(n))) as &dyn Fn(u64) -> String,
+        ),
+        (
+            "failure count",
+            &by_fail,
+            &(|n: u64| group_thousands(n)) as &dyn Fn(u64) -> String,
+        ),
+    ] {
+        let mut table = Table::new(
+            vec!["user".into(), "estimate".into(), "at least".into()],
+            vec![Align::Right, Align::Right, Align::Right],
+        );
+        for h in sketch.top(k) {
+            table.row(vec![h.key.to_string(), fmt(h.count), fmt(h.guaranteed())]);
+        }
+        out.push_str(&format!(
+            "\ntop {k} users by {title} (streaming sketch, ε = {epsilon}):\n"
+        ));
+        out.push_str(&table.render());
+    }
+
+    out.push_str(&format!(
+        "\nretry chains: {} chains / {} linked resubmissions / {} dangling links\n",
+        group_thousands(chains.chains as u64),
+        group_thousands(chains.linked_jobs as u64),
+        group_thousands(chains.dangling_links as u64),
+    ));
+    if chains.linked_jobs == 0 {
+        out.push_str("no resubmission lineage in this trace\n");
+        return Ok(out);
+    }
+    let mut lengths = Table::new(
+        vec!["chain length".into(), "chains".into(), "eventually succeeded".into()],
+        vec![Align::Right, Align::Right, Align::Right],
+    );
+    for row in &chains.success_by_length {
+        lengths.row(vec![
+            row.length.to_string(),
+            group_thousands(row.chains),
+            percent(row.succeeded as f64 / row.chains as f64),
+        ]);
+    }
+    out.push_str("eventual success by chain length:\n");
+    out.push_str(&lengths.render());
+    if let Some(rate) = chains.give_up_rate {
+        out.push_str(&format!("give-up rate among failed chains: {}\n", percent(rate)));
+    }
+    if let (Some(p50), Some(p90), Some(p99)) = (
+        chains.gap_hist.p50(),
+        chains.gap_hist.p90(),
+        chains.gap_hist.p99(),
+    ) {
+        out.push_str(&format!(
+            "failure-to-resubmit gap: p50 {}s / p90 {}s / p99 {}s\n",
+            group_thousands(p50),
+            group_thousands(p90),
+            group_thousands(p99),
+        ));
+    }
+    out.push_str(&format!(
+        "wasted work inside retried chains: {:.1} core-hours\n",
+        ns_to_ch(chains.wasted_node_seconds),
+    ));
+    Ok(out)
+}
+
 /// A cheap, stable identity for "the dataset this run analyzed": record
 /// counts plus first/last timestamps per table, FNV-1a folded.
 #[must_use]
@@ -1064,6 +1221,55 @@ mod tests {
         for d in [&csv_dir, &snap_dir, &import_dir] {
             std::fs::remove_dir_all(d).unwrap();
         }
+    }
+
+    #[test]
+    fn users_command_mines_chains_and_heavy_hitters() {
+        let dir = temp_dir("users-cmd");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        run(&s(&[
+            "gen", "--out", &dir_str, "--days", "8", "--seed", "3", "--users", "300", "--retry",
+            "0.6",
+        ]))
+        .unwrap();
+        let out = run(&s(&["users", &dir_str, "--top", "5"])).unwrap();
+        assert!(out.contains("distinct users"), "{out}");
+        assert!(out.contains("top 5 users by job count"), "{out}");
+        assert!(out.contains("streaming sketch"), "{out}");
+        assert!(out.contains("retry chains:"), "{out}");
+        assert!(
+            out.contains("eventual success by chain length"),
+            "retries at 0.6 must leave lineage: {out}"
+        );
+        assert!(out.contains("failure-to-resubmit gap"), "{out}");
+
+        // A retry-free trace reports the absence rather than a table.
+        let clean = temp_dir("users-clean");
+        let clean_str = clean.to_str().unwrap().to_owned();
+        run(&s(&["gen", "--out", &clean_str, "--days", "6", "--seed", "3"])).unwrap();
+        let out = run(&s(&["users", &clean_str])).unwrap();
+        assert!(out.contains("no resubmission lineage"), "{out}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&clean).unwrap();
+    }
+
+    #[test]
+    fn users_flag_validation() {
+        let err = run(&s(&["users"])).unwrap_err();
+        assert!(err.to_string().contains("dataset directory"), "{err}");
+        let err = run(&s(&["users", "/d", "--epsilon", "0"])).unwrap_err();
+        assert!(err.to_string().contains("--epsilon"), "{err}");
+    }
+
+    #[test]
+    fn gen_population_flag_validation() {
+        let dir = temp_dir("gen-flags");
+        let dir_str = dir.to_str().unwrap();
+        let err = run(&s(&["gen", "--out", dir_str, "--retry", "1.5"])).unwrap_err();
+        assert!(err.to_string().contains("--retry"), "{err}");
+        let err = run(&s(&["gen", "--out", dir_str, "--projects", "5"])).unwrap_err();
+        assert!(err.to_string().contains("--users"), "{err}");
     }
 
     #[test]

@@ -186,6 +186,7 @@ mod tests {
             block: Block::new(0, (nodes / 512).max(1) as u16).unwrap(),
             exit_code: exit,
             num_tasks: tasks,
+            resubmit_of: None,
         }
     }
 

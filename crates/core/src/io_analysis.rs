@@ -85,6 +85,7 @@ mod tests {
             block: Block::new(0, 1).unwrap(),
             exit_code: exit,
             num_tasks: 1,
+            resubmit_of: None,
         }
     }
 

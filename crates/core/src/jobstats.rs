@@ -79,14 +79,26 @@ pub struct SizeMixRow {
 /// The job-size mix: how many jobs of each scale, and how much of the
 /// machine they consumed. Sorted by size ascending.
 pub fn size_mix(jobs: &[JobRecord]) -> Vec<SizeMixRow> {
-    let mut by_size: BTreeMap<u32, (usize, f64)> = BTreeMap::new();
+    // Sizes are power-of-two node classes bounded by the machine, so the
+    // distinct-size count is known up front: a pre-sized vector with a
+    // linear probe beats a tree of a dozen entries, and accumulation
+    // stays in job order (float sums are byte-stable vs the old map).
+    let size_classes = usize::BITS as usize + 1;
+    let mut by_size: Vec<(u32, (usize, f64))> = Vec::with_capacity(size_classes);
     let mut total_ch = 0.0;
     for j in jobs {
-        let e = by_size.entry(j.nodes).or_default();
+        let e = match by_size.iter_mut().find(|(nodes, _)| *nodes == j.nodes) {
+            Some((_, e)) => e,
+            None => {
+                by_size.push((j.nodes, (0, 0.0)));
+                &mut by_size.last_mut().expect("just pushed").1
+            }
+        };
         e.0 += 1;
         e.1 += j.core_hours();
         total_ch += j.core_hours();
     }
+    by_size.sort_unstable_by_key(|&(nodes, _)| nodes);
     let n = jobs.len().max(1) as f64;
     by_size
         .into_iter()
@@ -109,7 +121,10 @@ pub struct EntityActivity {
     pub jobs: usize,
     /// Jobs failed.
     pub failed: usize,
-    /// Core-hours consumed.
+    /// Exact node-seconds consumed (the integer the columnar engine
+    /// accumulates; layout- and thread-invariant).
+    pub node_seconds: u64,
+    /// Core-hours consumed, derived once from `node_seconds`.
     pub core_hours: f64,
 }
 
@@ -150,31 +165,18 @@ impl Concentration {
 }
 
 /// Aggregates jobs per user, sorted by descending job count.
+///
+/// Runs on the partitioned columnar engine ([`crate::columnar`]): sorted
+/// per-chunk fold plus ordered merge, bit-identical across thread counts
+/// and partition layouts, memory proportional to distinct users per
+/// chunk rather than one whole-dataset map.
 pub fn per_user(jobs: &[JobRecord]) -> Vec<EntityActivity> {
-    aggregate(jobs, |j| j.user.raw())
+    crate::columnar::per_user_columnar(jobs)
 }
 
 /// Aggregates jobs per project, sorted by descending job count.
 pub fn per_project(jobs: &[JobRecord]) -> Vec<EntityActivity> {
-    aggregate(jobs, |j| j.project.raw())
-}
-
-fn aggregate(jobs: &[JobRecord], key: impl Fn(&JobRecord) -> u32) -> Vec<EntityActivity> {
-    let mut map: BTreeMap<u32, EntityActivity> = BTreeMap::new();
-    for j in jobs {
-        let e = map.entry(key(j)).or_insert_with(|| EntityActivity {
-            id: key(j),
-            jobs: 0,
-            failed: 0,
-            core_hours: 0.0,
-        });
-        e.jobs += 1;
-        e.failed += usize::from(j.exit_code != 0);
-        e.core_hours += j.core_hours();
-    }
-    let mut v: Vec<EntityActivity> = map.into_values().collect();
-    v.sort_by(|a, b| b.jobs.cmp(&a.jobs).then(a.id.cmp(&b.id)));
-    v
+    crate::columnar::per_project_columnar(jobs)
 }
 
 /// Hour-of-day and day-of-week profiles (experiment E13): `hourly[h]` and
@@ -214,13 +216,13 @@ impl TemporalProfile {
 }
 
 /// Failure-class breakdown (experiment E4): counts per [`ExitClass`].
+///
+/// Counts into a fixed array indexed by class discriminant — no
+/// per-class tree lookups — and materializes only the classes present,
+/// matching the historical map-insertion behavior exactly.
 #[must_use]
 pub fn class_breakdown(jobs: &[JobRecord]) -> BTreeMap<ExitClass, usize> {
-    let mut map = BTreeMap::new();
-    for j in jobs {
-        *map.entry(ExitClass::from_exit_code(j.exit_code)).or_insert(0) += 1;
-    }
-    map
+    class_breakdown_of(jobs.iter().map(|j| ExitClass::from_exit_code(j.exit_code)))
 }
 
 /// [`class_breakdown`] over a prebuilt [`DatasetIndex`]: counts the
@@ -231,11 +233,19 @@ pub fn class_breakdown(jobs: &[JobRecord]) -> BTreeMap<ExitClass, usize> {
 pub fn class_breakdown_indexed(
     idx: &crate::index::DatasetIndex<'_>,
 ) -> BTreeMap<ExitClass, usize> {
-    let mut map = BTreeMap::new();
-    for &class in &idx.exit_classes {
-        *map.entry(class).or_insert(0) += 1;
+    class_breakdown_of(idx.exit_classes.iter().copied())
+}
+
+fn class_breakdown_of(classes: impl Iterator<Item = ExitClass>) -> BTreeMap<ExitClass, usize> {
+    let mut counts = [0usize; ExitClass::ALL.len()];
+    for class in classes {
+        counts[class as usize] += 1;
     }
-    map
+    ExitClass::ALL
+        .into_iter()
+        .zip(counts)
+        .filter(|&(_, n)| n > 0)
+        .collect()
 }
 
 /// The user-attributed share of failures (the paper's 99.4% headline).
@@ -288,6 +298,7 @@ mod tests {
             block: Block::new(0, (nodes / 512).max(1) as u16).unwrap(),
             exit_code: exit,
             num_tasks: 1,
+            resubmit_of: None,
         }
     }
 

@@ -37,6 +37,8 @@
 //! ```
 
 pub mod analysis;
+pub mod chains;
+pub mod columnar;
 pub mod exitcode;
 pub mod failure_rates;
 pub mod filtering;

@@ -157,6 +157,7 @@ mod tests {
             block: Block::new(0, (nodes / 512).max(1) as u16).unwrap(),
             exit_code: 0,
             num_tasks: 1,
+            resubmit_of: None,
         }
     }
 

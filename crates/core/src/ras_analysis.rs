@@ -151,6 +151,7 @@ mod tests {
             block,
             exit_code: 0,
             num_tasks: 1,
+            resubmit_of: None,
         }
     }
 

@@ -83,6 +83,7 @@ prop_compose! {
             block: Block::new(first, len).expect("within machine"),
             exit_code: EXITS[exit_pick],
             num_tasks: tasks,
+            resubmit_of: None,
         }
     }
 }

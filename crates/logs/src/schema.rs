@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use bgq_model::{Block, IoRecord, JobRecord, MsgText, RasRecord, TaskRecord};
+use bgq_model::{Block, IoRecord, JobId, JobRecord, MsgText, RasRecord, TaskRecord};
 
 use crate::csv::RecordView;
 
@@ -300,6 +300,7 @@ impl Record for JobRecord {
         "block",
         "exit_code",
         "num_tasks",
+        "resubmit_of",
     ];
 
     fn encode(&self) -> Vec<String> {
@@ -317,13 +318,28 @@ impl Record for JobRecord {
             self.block.to_string(),
             self.exit_code.to_string(),
             self.num_tasks.to_string(),
+            // Chain roots store 0 — job ids are 1-based, so 0 is never a
+            // valid backreference and needs no separate sentinel column.
+            self.resubmit_of.map_or(0, JobId::raw).to_string(),
         ]
     }
 
     fn decode_fields<F: Fields>(fields: &F, cols: &ColumnMap) -> Result<Self, SchemaError> {
         let r = row::<Self, F>(cols, fields);
+        let job_id: JobId = r.parse(0, "job_id")?;
+        let resubmit_raw: u64 = r.parse(13, "resubmit_of")?;
+        // A lineage link must point strictly backwards; a forward or
+        // self reference is corruption, not a usable chain edge.
+        if resubmit_raw >= job_id.raw() && resubmit_raw != 0 {
+            return Err(SchemaError {
+                table: Self::TABLE,
+                field: "resubmit_of",
+                value: Some(resubmit_raw.to_string()),
+                kind: SchemaErrorKind::BadValue,
+            });
+        }
         Ok(JobRecord {
-            job_id: r.parse(0, "job_id")?,
+            job_id,
             user: r.parse(1, "user")?,
             project: r.parse(2, "project")?,
             queue: r.parse(3, "queue")?,
@@ -336,6 +352,7 @@ impl Record for JobRecord {
             block: r.parse::<Block>(10, "block")?,
             exit_code: r.parse(11, "exit_code")?,
             num_tasks: r.parse(12, "num_tasks")?,
+            resubmit_of: (resubmit_raw != 0).then(|| JobId::new(resubmit_raw)),
         })
     }
 }
@@ -540,6 +557,7 @@ mod tests {
             block: Block::new(16, 16).unwrap(),
             exit_code: 139,
             num_tasks: 3,
+            resubmit_of: None,
         }
     }
 
@@ -565,6 +583,27 @@ mod tests {
     fn job_roundtrip() {
         let j = sample_job();
         assert_eq!(JobRecord::decode(&j.encode()).unwrap(), j);
+    }
+
+    #[test]
+    fn job_roundtrip_with_lineage() {
+        let mut j = sample_job();
+        j.resubmit_of = Some(JobId::new(17));
+        let row = j.encode();
+        assert_eq!(row.last().map(String::as_str), Some("17"));
+        assert_eq!(JobRecord::decode(&row).unwrap(), j);
+    }
+
+    #[test]
+    fn forward_or_self_lineage_is_rejected() {
+        for bad in ["42", "43"] {
+            let mut row = sample_job().encode();
+            *row.last_mut().unwrap() = bad.to_owned();
+            let err = JobRecord::decode(&row).unwrap_err();
+            assert_eq!(err.field, "resubmit_of");
+            assert_eq!(err.kind, SchemaErrorKind::BadValue);
+            assert_eq!(err.value.as_deref(), Some(bad));
+        }
     }
 
     #[test]

@@ -76,8 +76,9 @@ use crate::store::{
 
 /// Magic bytes opening every segment file.
 pub const MAGIC: [u8; 8] = *b"BGQSEG1\0";
-/// Current segment format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current segment format version. v2 added the `resubmit_of` lineage
+/// column to the jobs table; v1 snapshots are rejected loudly.
+pub const FORMAT_VERSION: u32 = 2;
 /// Endianness tag as written by a little-endian writer.
 pub const ENDIAN_TAG: u32 = 0x0102_0304;
 /// Fixed header length in bytes; the payload starts here.
@@ -372,6 +373,7 @@ pub fn columns(table: &str) -> &'static [(&'static str, usize)] {
             ("block_len", 2),
             ("exit_code", 4),
             ("num_tasks", 4),
+            ("resubmit_of", 8),
         ],
         "ras" => &[
             ("rec_id", 8),
@@ -561,6 +563,7 @@ fn encode_segment(table: &'static str, day: i64, rows: SegmentRows<'_>) -> Vec<u
                 w.u16(11, j.block.len());
                 w.i32(12, j.exit_code);
                 w.u32(13, j.num_tasks);
+                w.u64(14, j.resubmit_of.map_or(0, JobId::raw));
             }
         }
         SegmentRows::Ras(ras) => {
@@ -1158,7 +1161,16 @@ fn read_segment(table: &'static str, day: i64, root: &Path) -> SegmentOutcome {
             let block_len = c.u16s(11);
             let exit_code = c.i32s(12);
             let num_tasks = c.u32s(13);
+            let resubmit_of = c.u64s(14);
             let (r, n, f) = decode_rows(rows, |i| {
+                // Lineage links must point strictly backwards; anything
+                // else is corruption and rejects the row, not the segment.
+                if resubmit_of[i] != 0 && resubmit_of[i] >= job_id[i] {
+                    return Err(format!(
+                        "resubmit_of {} not before job_id {}",
+                        resubmit_of[i], job_id[i]
+                    ));
+                }
                 Ok(JobRecord {
                     job_id: JobId::new(job_id[i]),
                     user: UserId::new(user[i]),
@@ -1173,6 +1185,7 @@ fn read_segment(table: &'static str, day: i64, root: &Path) -> SegmentOutcome {
                     block: block_decode(block_start[i], block_len[i])?,
                     exit_code: exit_code[i],
                     num_tasks: num_tasks[i],
+                    resubmit_of: (resubmit_of[i] != 0).then(|| JobId::new(resubmit_of[i])),
                 })
             });
             (DecodedRows::Jobs(r), n, f)
@@ -1580,6 +1593,7 @@ mod tests {
             block: Block::new(0, 1).unwrap(),
             exit_code: 0,
             num_tasks: 1,
+            resubmit_of: None,
         }
     }
 

@@ -899,6 +899,7 @@ mod tests {
             block: Block::new(0, 1).unwrap(),
             exit_code: 0,
             num_tasks: 1,
+            resubmit_of: None,
         }
     }
 

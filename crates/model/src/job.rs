@@ -162,6 +162,11 @@ pub struct JobRecord {
     pub exit_code: i32,
     /// Number of `runjob` tasks the job script launched.
     pub num_tasks: u32,
+    /// The earlier job this one resubmits (retry-chain lineage), when the
+    /// accounting log links a failed job to its re-queued successor.
+    /// `None` for chain roots and for logs predating lineage capture.
+    /// A valid link always points backwards: `resubmit_of < job_id`.
+    pub resubmit_of: Option<JobId>,
 }
 
 impl JobRecord {
@@ -216,7 +221,17 @@ mod tests {
             block: Block::new(0, 2).unwrap(),
             exit_code: 0,
             num_tasks: 1,
+            resubmit_of: None,
         }
+    }
+
+    #[test]
+    fn lineage_links_point_backwards() {
+        let mut j = sample();
+        assert!(j.resubmit_of.is_none(), "sample is a chain root");
+        j.job_id = JobId::new(5);
+        j.resubmit_of = Some(JobId::new(2));
+        assert!(j.resubmit_of.unwrap().raw() < j.job_id.raw());
     }
 
     #[test]

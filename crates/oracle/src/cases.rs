@@ -59,6 +59,11 @@ pub struct AdversarialCase {
     pub samples: Vec<f64>,
     /// Jobs including zero-duration and window-boundary-aligned runs.
     pub jobs: Vec<JobRecord>,
+    /// Jobs carrying `resubmit_of` lineage: real backward chains mixed
+    /// with dangling, self-referential, and forward links. Fed only to
+    /// the chain-mining pairing — the persistence layers *reject* the
+    /// corrupt shapes by design, so these never round-trip.
+    pub lineage_jobs: Vec<JobRecord>,
     /// Events including pre-origin, post-end, and boundary timestamps.
     pub events: Vec<RasRecord>,
     /// Intervals (job spans plus degenerate and inverted extras).
@@ -82,6 +87,7 @@ pub fn test_job(id: u64, start: i64, end: i64, block: Block) -> JobRecord {
         block,
         exit_code: (id % 2) as i32,
         num_tasks: 1 + (id % 4) as u32,
+        resubmit_of: None,
     }
 }
 
@@ -116,6 +122,7 @@ pub fn generate(seed: u64) -> AdversarialCase {
         seed,
         samples: gen_samples(&mut rng),
         jobs: gen_jobs(&mut rng),
+        lineage_jobs: gen_lineage_jobs(&mut rng),
         events: gen_events(&mut rng),
         intervals: gen_intervals(&mut rng),
     }
@@ -182,6 +189,39 @@ fn gen_jobs(rng: &mut CaseRng) -> Vec<JobRecord> {
         .collect()
 }
 
+/// Jobs whose `resubmit_of` links oversample every lineage seam: honest
+/// backward chains (retrying the previous failure), links into the
+/// middle of other chains, duplicate parents (two jobs claiming the
+/// same predecessor), and the corrupt shapes — dangling ids, self
+/// links, forward links.
+fn gen_lineage_jobs(rng: &mut CaseRng) -> Vec<JobRecord> {
+    let n = 6 + rng.below(20);
+    (0..n)
+        .map(|i| {
+            let id = i + 1;
+            let start = i as i64 * 500 + rng.below(400) as i64;
+            let len = rng.below(600) as i64; // zero-duration included
+            let mut j = test_job(id, start, start + len, Block::new(0, 1).expect("in range"));
+            j.exit_code = if rng.below(3) == 0 { 0 } else { 139 };
+            j.resubmit_of = match rng.below(8) {
+                // Chain onto the immediately preceding job.
+                0 | 1 if id > 1 => Some(JobId::new(id - 1)),
+                // Link anywhere backwards (mid-chain, duplicate parents).
+                2 | 3 if id > 1 => Some(JobId::new(1 + rng.below(id - 1))),
+                // Dangling: an id the log never contains.
+                4 => Some(JobId::new(id + 1_000)),
+                // Self link.
+                5 => Some(JobId::new(id)),
+                // Forward link.
+                6 => Some(JobId::new(id + 1 + rng.below(3))),
+                // Chain root.
+                _ => None,
+            };
+            j
+        })
+        .collect()
+}
+
 fn gen_events(rng: &mut CaseRng) -> Vec<RasRecord> {
     let max_mp = Machine::MIRA.total_midplanes() as u64;
     let n = 4 + rng.below(12);
@@ -243,13 +283,29 @@ mod tests {
         let mut zero_dur = false;
         let mut pre_origin = false;
         let mut inverted = false;
+        let mut chained = false;
+        let mut dangling = false;
+        let mut self_link = false;
+        let mut forward = false;
         for seed in 0..32 {
             let case = generate(seed);
             nan |= case.samples.iter().any(|v| v.is_nan());
             zero_dur |= case.jobs.iter().any(|j| j.started_at == j.ended_at);
             pre_origin |= case.events.iter().any(|e| e.event_time < Timestamp::from_secs(0));
             inverted |= case.intervals.iter().any(|(s, e)| e < s);
+            let ids: Vec<u64> = case.lineage_jobs.iter().map(|j| j.job_id.raw()).collect();
+            for j in &case.lineage_jobs {
+                let Some(p) = j.resubmit_of else { continue };
+                chained |= p.raw() < j.job_id.raw() && ids.contains(&p.raw());
+                dangling |= !ids.contains(&p.raw());
+                self_link |= p == j.job_id;
+                forward |= p.raw() > j.job_id.raw();
+            }
         }
         assert!(nan && zero_dur && pre_origin && inverted);
+        assert!(
+            chained && dangling && self_link && forward,
+            "lineage corpus must cover valid chains and every corrupt link shape"
+        );
     }
 }

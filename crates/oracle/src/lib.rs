@@ -29,4 +29,5 @@ pub mod cases;
 pub mod join;
 pub mod ranking;
 pub mod stabbing;
+pub mod users;
 pub mod utilization;

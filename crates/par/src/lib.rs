@@ -103,6 +103,15 @@ pub fn is_parallel() -> bool {
     workers_for(usize::MAX) > 1
 }
 
+/// Number of worker threads the combinators would use for an unbounded
+/// item count: the hardware parallelism clipped by any
+/// [`with_max_threads`] cap (always 1 in sequential builds). Lets
+/// callers size memory-bounded work waves to the real concurrency.
+#[must_use]
+pub fn max_workers() -> usize {
+    workers_for(usize::MAX)
+}
+
 /// Maps `f` over `items`, in parallel, preserving input order.
 ///
 /// Equivalent to `items.iter().map(f).collect()` — including the order

@@ -63,6 +63,20 @@ pub struct SimConfig {
     /// Base per-job user-failure probability multiplier (scales every
     /// user's intrinsic rate; 1.0 = calibrated default).
     pub failure_scale: f64,
+    /// Probability that a user-failed job is resubmitted as a linked
+    /// retry (chain lineage via `resubmit_of`). `0.0` — the default —
+    /// disables retry generation entirely and draws **no** extra random
+    /// numbers, so fixed-seed traces predating retries are unchanged.
+    pub retry_prob: f64,
+    /// Multiplier applied to the resubmit probability at each successive
+    /// attempt: attempt `k` retries with probability
+    /// `retry_prob × retry_decay^k` (persistence decays, users give up).
+    pub retry_decay: f64,
+    /// Hard cap on resubmissions per chain.
+    pub retry_max: u32,
+    /// Mean think-time gap between a failure and its resubmission, in
+    /// seconds (exponentially distributed, floored at one minute).
+    pub retry_gap_mean_s: f64,
 }
 
 impl SimConfig {
@@ -87,6 +101,10 @@ impl SimConfig {
             job_events_per_knh: 0.4,
             io_coverage: 0.8,
             failure_scale: 1.0,
+            retry_prob: 0.0,
+            retry_decay: 0.6,
+            retry_max: 5,
+            retry_gap_mean_s: 1_800.0,
         }
     }
 
@@ -125,6 +143,20 @@ impl SimConfig {
     /// Replaces the global failure-rate multiplier.
     pub fn with_failure_scale(mut self, scale: f64) -> Self {
         self.failure_scale = scale;
+        self
+    }
+
+    /// Replaces the population size (users and projects).
+    pub fn with_users(mut self, users: u32, projects: u32) -> Self {
+        self.n_users = users;
+        self.n_projects = projects;
+        self
+    }
+
+    /// Enables retry-chain generation with the given base resubmit
+    /// probability (decay, cap, and gap keep their defaults).
+    pub fn with_retries(mut self, prob: f64) -> Self {
+        self.retry_prob = prob;
         self
     }
 
@@ -172,6 +204,15 @@ impl SimConfig {
         if !self.failure_scale.is_finite() || self.failure_scale < 0.0 {
             return Err("failure_scale must be non-negative".into());
         }
+        if !(0.0..=1.0).contains(&self.retry_prob) {
+            return Err("retry_prob must be within [0, 1]".into());
+        }
+        if !self.retry_decay.is_finite() || !(0.0..=1.0).contains(&self.retry_decay) {
+            return Err("retry_decay must be within [0, 1]".into());
+        }
+        if !self.retry_gap_mean_s.is_finite() || self.retry_gap_mean_s <= 0.0 {
+            return Err("retry_gap_mean_s must be positive".into());
+        }
         Ok(())
     }
 }
@@ -210,6 +251,9 @@ mod tests {
         assert!(SimConfig { lemon_bias: 1.5, ..SimConfig::small(1) }.validate().is_err());
         assert!(SimConfig { early_life_factor: 0.5, ..SimConfig::small(1) }.validate().is_err());
         assert!(SimConfig { io_coverage: -0.1, ..SimConfig::small(1) }.validate().is_err());
+        assert!(SimConfig { retry_prob: 1.5, ..SimConfig::small(1) }.validate().is_err());
+        assert!(SimConfig { retry_decay: -0.1, ..SimConfig::small(1) }.validate().is_err());
+        assert!(SimConfig { retry_gap_mean_s: 0.0, ..SimConfig::small(1) }.validate().is_err());
     }
 
     #[test]
@@ -218,10 +262,22 @@ mod tests {
             .with_seed(1)
             .with_jobs_per_day(10.0)
             .with_incident_gap_days(0.5)
-            .with_failure_scale(2.0);
+            .with_failure_scale(2.0)
+            .with_users(1_000, 100)
+            .with_retries(0.5);
         assert_eq!(cfg.seed, 1);
         assert_eq!(cfg.jobs_per_day, 10.0);
         assert_eq!(cfg.incident_gap_days, 0.5);
         assert_eq!(cfg.failure_scale, 2.0);
+        assert_eq!(cfg.n_users, 1_000);
+        assert_eq!(cfg.n_projects, 100);
+        assert_eq!(cfg.retry_prob, 0.5);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn retries_default_off() {
+        assert_eq!(SimConfig::mira_2k_days().retry_prob, 0.0);
+        assert_eq!(SimConfig::small(5).retry_prob, 0.0);
     }
 }

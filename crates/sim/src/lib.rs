@@ -40,9 +40,11 @@ pub mod scheduler;
 pub mod sim;
 pub mod truth;
 pub mod users;
+pub mod userscale;
 pub mod workload;
 
 pub use config::SimConfig;
 pub use incidents::Incident;
 pub use sim::{generate, generate_to_snapshot, SimOutput};
+pub use userscale::generate_jobs_only;
 pub use truth::GroundTruth;

@@ -298,6 +298,9 @@ mod tests {
                 mode: Default::default(),
                 walltime_s: 7_200,
                 num_tasks: 1,
+                arrival_seq: 0,
+                attempt: 0,
+                resubmit_of: None,
                 queue: Default::default(),
                 outcome: PlannedOutcome::Success { runtime_s: 3_600 },
             },

@@ -280,6 +280,9 @@ mod tests {
             num_tasks: 1,
             queue: Default::default(),
             outcome: PlannedOutcome::Success { runtime_s: runtime },
+            arrival_seq: queued as u64,
+            attempt: 0,
+            resubmit_of: None,
         }
     }
 

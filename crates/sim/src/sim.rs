@@ -69,10 +69,20 @@ pub fn generate(config: &SimConfig) -> SimOutput {
     let mut truth_kills = Vec::new();
     let mut next_task_id: u64 = 1;
 
+    // Lineage resolution: `resubmit_of` on a spec names the parent's
+    // arrival_seq; the record needs the parent's JobId. A parent the
+    // scheduler dropped (never finished inside the horizon) makes the
+    // child a chain root. Ids follow sorted spec order, so a resolved
+    // parent id is always smaller than the child's.
+    let seq_to_id: std::collections::HashMap<u64, JobId> = scheduled
+        .iter()
+        .map(|job| (job.spec.arrival_seq, JobId::new(job.spec_idx as u64 + 1)))
+        .collect();
+
     bgq_obs::time("sim.emit_jobs", || {
         for job in &scheduled {
             let job_id = JobId::new(job.spec_idx as u64 + 1);
-            dataset.jobs.push(to_job_record(job_id, job, &population));
+            dataset.jobs.push(to_job_record(job_id, job, &population, &seq_to_id));
             emit_tasks(job_id, job, &mut next_task_id, &mut rng, &mut dataset.tasks);
             if let Some(rec) = io_record(config, job_id, job, &mut rng) {
                 dataset.io.push(rec);
@@ -164,7 +174,12 @@ pub fn generate_to_snapshot(
     Ok((output, stats))
 }
 
-fn to_job_record(job_id: JobId, job: &ScheduledJob, population: &Population) -> JobRecord {
+fn to_job_record(
+    job_id: JobId,
+    job: &ScheduledJob,
+    population: &Population,
+    seq_to_id: &std::collections::HashMap<u64, JobId>,
+) -> JobRecord {
     let user = &population.users()[job.spec.user_idx];
     JobRecord {
         job_id,
@@ -180,6 +195,10 @@ fn to_job_record(job_id: JobId, job: &ScheduledJob, population: &Population) -> 
         block: job.block,
         exit_code: job.exit_code,
         num_tasks: job.spec.num_tasks,
+        resubmit_of: job
+            .spec
+            .resubmit_of
+            .and_then(|seq| seq_to_id.get(&seq).copied()),
     }
 }
 

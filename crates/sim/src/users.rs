@@ -91,12 +91,17 @@ impl Population {
                 mode_mix,
             });
         }
-        // Shuffle activity so that low ids are not always the heavy hitters.
-        for i in (1..users.len()).rev() {
+        // Shuffle activity so that low ids are not always the heavy
+        // hitters. Only the activity column moves — every other profile
+        // field stays with its user id — so the Fisher–Yates pass runs
+        // over an extracted column and writes it back.
+        let mut activities: Vec<f64> = users.iter().map(|u| u.activity).collect();
+        for i in (1..activities.len()).rev() {
             let j = rng.gen_range(0..=i);
-            let tmp = users[i].activity;
-            users[i].activity = users[j].activity;
-            users[j].activity = tmp;
+            activities.swap(i, j);
+        }
+        for (u, a) in users.iter_mut().zip(activities) {
+            u.activity = a;
         }
         let mut cumulative = Vec::with_capacity(users.len());
         let mut acc = 0.0;

@@ -51,6 +51,14 @@ pub struct JobSpec {
     pub queue: Queue,
     /// Planned outcome.
     pub outcome: PlannedOutcome,
+    /// Generation-order id, unique across the arrival list and stable
+    /// under the submit-time sort. Lineage links refer to this.
+    pub arrival_seq: u64,
+    /// Retry depth: `0` for fresh submissions, `k` for the k-th resubmit.
+    pub attempt: u32,
+    /// The `arrival_seq` of the failed submission this spec retries,
+    /// or `None` for fresh submissions.
+    pub resubmit_of: Option<u64>,
 }
 
 impl JobSpec {
@@ -108,8 +116,31 @@ fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     weights.len() - 1
 }
 
+/// Largest mean handed to Knuth's method directly. Above it,
+/// `exp(-mean)` loses precision (and underflows to zero near 745),
+/// which would send the rejection loop to its iteration cap.
+const POISSON_CHUNK_MEAN: f64 = 500.0;
+
 fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u32 {
-    // Knuth's method is fine for the small means used here.
+    if mean > POISSON_CHUNK_MEAN {
+        // Poisson additivity: a draw with a large mean is the sum of
+        // independent draws whose means stay in Knuth territory. Means
+        // at or below the chunk size take the exact historical path.
+        let chunks = (mean / POISSON_CHUNK_MEAN) as u32;
+        let rem = mean - f64::from(chunks) * POISSON_CHUNK_MEAN;
+        let mut total = 0u32;
+        for _ in 0..chunks {
+            total = total.saturating_add(sample_poisson_knuth(rng, POISSON_CHUNK_MEAN));
+        }
+        if rem > 0.0 {
+            total = total.saturating_add(sample_poisson_knuth(rng, rem));
+        }
+        return total;
+    }
+    sample_poisson_knuth(rng, mean)
+}
+
+fn sample_poisson_knuth<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u32 {
     let l = (-mean).exp();
     let mut k = 0u32;
     let mut p = 1.0;
@@ -146,20 +177,87 @@ pub fn generate_arrivals<R: Rng + ?Sized>(
                     day_start + Span::from_secs(i64::from(hour) * SECS_PER_HOUR + offset);
                 let user = population.sample(rng);
                 let user_idx = user.user.raw() as usize;
-                specs.push(make_spec(config, user, user_idx, queued_at, &modes, rng));
+                let seq = specs.len() as u64;
+                specs.push(make_spec(config, user, user_idx, queued_at, seq, &modes, rng));
             }
         }
+    }
+    if config.retry_prob > 0.0 {
+        generate_retries(config, population, &modes, &mut specs, rng);
     }
     specs.sort_by_key(|s| s.queued_at);
     specs
 }
 
-/// Builds one job spec for `user` submitted at `queued_at`.
+/// Appends linked resubmissions of failed specs (including failed
+/// retries, so chains grow until the user succeeds or gives up).
+///
+/// Walks `specs` by index while pushing to the end, so children are
+/// themselves revisited. Only called when `retry_prob > 0`; the retries-
+/// off configuration draws no random numbers here by construction.
+fn generate_retries<R: Rng + ?Sized>(
+    config: &SimConfig,
+    population: &Population,
+    modes: &[FailureMode],
+    specs: &mut Vec<JobSpec>,
+    rng: &mut R,
+) {
+    let mut i = 0;
+    while i < specs.len() {
+        let parent = specs[i].clone();
+        i += 1;
+        if !matches!(parent.outcome, PlannedOutcome::UserFailure { .. }) {
+            continue;
+        }
+        if parent.attempt >= config.retry_max {
+            continue;
+        }
+        let p = config.retry_prob * config.retry_decay.powi(parent.attempt as i32);
+        if rng.gen::<f64>() >= p {
+            continue;
+        }
+        // Think-time gap after the failure becomes visible (the planned
+        // end, approximating queue wait as small): exponential with the
+        // configured mean, floored at one minute.
+        let gap = (-config.retry_gap_mean_s * (1.0 - rng.gen::<f64>()).ln()).max(60.0) as i64;
+        let queued_at = parent.queued_at
+            + Span::from_secs(i64::from(parent.planned_runtime_s()) + gap);
+        if queued_at >= config.horizon_end() {
+            continue;
+        }
+        // A retry resubmits the same script: size, mode, wall time, task
+        // count, and queue carry over; only the outcome is re-drawn.
+        let user = &population.users()[parent.user_idx];
+        let size_class = u32::from(parent.midplanes).ilog2();
+        let outcome = draw_outcome(
+            config,
+            user,
+            size_class,
+            parent.walltime_s,
+            parent.num_tasks,
+            modes,
+            rng,
+        );
+        let seq = specs.len() as u64;
+        specs.push(JobSpec {
+            queued_at,
+            arrival_seq: seq,
+            attempt: parent.attempt + 1,
+            resubmit_of: Some(parent.arrival_seq),
+            outcome,
+            ..parent
+        });
+    }
+}
+
+/// Builds one fresh (non-retry) job spec for `user` submitted at
+/// `queued_at`, with generation-order id `arrival_seq`.
 pub fn make_spec<R: Rng + ?Sized>(
     config: &SimConfig,
     user: &UserProfile,
     user_idx: usize,
     queued_at: Timestamp,
+    arrival_seq: u64,
     modes: &[FailureMode],
     rng: &mut R,
 ) -> JobSpec {
@@ -200,12 +298,42 @@ pub fn make_spec<R: Rng + ?Sized>(
         Queue::Production
     };
 
+    let outcome = draw_outcome(config, user, class, walltime_s, num_tasks, modes, rng);
+
+    JobSpec {
+        queued_at,
+        user_idx,
+        midplanes,
+        mode,
+        walltime_s,
+        num_tasks,
+        queue,
+        outcome,
+        arrival_seq,
+        attempt: 0,
+        resubmit_of: None,
+    }
+}
+
+/// Draws a planned outcome for one submission of `user` at the given
+/// size class. Shared by fresh arrivals and retries — a retry re-rolls
+/// the same dice, so transient failures eventually succeed while a
+/// deterministic bug keeps failing down the whole chain.
+fn draw_outcome<R: Rng + ?Sized>(
+    config: &SimConfig,
+    user: &UserProfile,
+    size_class: u32,
+    walltime_s: u32,
+    num_tasks: u32,
+    modes: &[FailureMode],
+    rng: &mut R,
+) -> PlannedOutcome {
     // Failure decision: intrinsic rate × scale boost × task boost.
-    let scale_mult = 1.0 + 0.13 * f64::from(class);
+    let scale_mult = 1.0 + 0.13 * f64::from(size_class);
     let task_mult = 1.0 + 0.08 * f64::from(num_tasks - 1);
     let p_fail = (user.bug_rate * scale_mult * task_mult * config.failure_scale).min(0.9);
 
-    let outcome = if rng.gen::<f64>() < p_fail {
+    if rng.gen::<f64>() < p_fail {
         let mode_idx = sample_weighted(rng, &user.mode_mix);
         let mode_entry = &modes[mode_idx];
         match &mode_entry.length_dist {
@@ -235,17 +363,6 @@ pub fn make_spec<R: Rng + ?Sized>(
         PlannedOutcome::Success {
             runtime_s: ((walltime_s as f64 * frac) as u32).max(60),
         }
-    };
-
-    JobSpec {
-        queued_at,
-        user_idx,
-        midplanes,
-        mode,
-        walltime_s,
-        num_tasks,
-        queue,
-        outcome,
     }
 }
 
@@ -334,6 +451,69 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn retries_off_produces_no_lineage() {
+        let (cfg, pop, mut rng) = setup();
+        assert_eq!(cfg.retry_prob, 0.0);
+        for s in generate_arrivals(&cfg, &pop, &mut rng) {
+            assert_eq!(s.attempt, 0);
+            assert_eq!(s.resubmit_of, None);
+        }
+    }
+
+    #[test]
+    fn arrival_seqs_are_unique_and_stable_under_sort() {
+        let (cfg, pop, mut rng) = setup();
+        let specs = generate_arrivals(&cfg.with_retries(0.8), &pop, &mut rng);
+        let mut seqs: Vec<u64> = specs.iter().map(|s| s.arrival_seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), specs.len(), "arrival_seq must be unique");
+    }
+
+    #[test]
+    fn retry_chains_link_backwards_to_failed_parents() {
+        let (cfg, pop, mut rng) = setup();
+        let cfg = cfg.with_retries(0.9);
+        let specs = generate_arrivals(&cfg, &pop, &mut rng);
+        let by_seq: std::collections::HashMap<u64, &JobSpec> =
+            specs.iter().map(|s| (s.arrival_seq, s)).collect();
+        let retries = specs.iter().filter(|s| s.resubmit_of.is_some()).count();
+        assert!(retries > 0, "0.9 retry probability must produce retries");
+        for s in &specs {
+            assert!(s.attempt <= cfg.retry_max);
+            match s.resubmit_of {
+                None => assert_eq!(s.attempt, 0),
+                Some(parent_seq) => {
+                    let parent = by_seq[&parent_seq];
+                    assert!(
+                        matches!(parent.outcome, PlannedOutcome::UserFailure { .. }),
+                        "only failures are retried"
+                    );
+                    assert!(parent.queued_at < s.queued_at, "parent must precede its retry");
+                    assert_eq!(parent.attempt + 1, s.attempt);
+                    assert_eq!(parent.user_idx, s.user_idx, "retries keep the owner");
+                    assert_eq!(parent.midplanes, s.midplanes, "retries keep the size");
+                    assert_eq!(parent.walltime_s, s.walltime_s, "retries keep the request");
+                    assert!(s.queued_at < cfg.horizon_end());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn large_mean_poisson_is_sane() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // exp(-5000) underflows to 0, which the chunked path must survive;
+        // 5σ ≈ 354 around the mean is a generous band for one draw.
+        let draw = f64::from(sample_poisson(&mut rng, 5_000.0));
+        assert!((draw - 5_000.0).abs() < 400.0, "draw {draw}");
+        // Small means keep the historical single-shot path.
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(sample_poisson(&mut a, 12.5), sample_poisson_knuth(&mut b, 12.5));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod hazard;
 pub mod histogram;
 pub mod special;
 pub mod summary;
+pub mod topk;
 
 pub use bootstrap::{bootstrap_ci, BootstrapCi};
 pub use censor::{fit_exponential_censored, fit_weibull_censored, Censored};
@@ -55,3 +56,4 @@ pub use fit::FitError;
 pub use gof::{ks_p_value, ks_statistic, select_best, GofResult, ModelSelection};
 pub use histogram::Histogram;
 pub use summary::{gini, lorenz_curve, top_k_share, Summary};
+pub use topk::{HeavyHitter, SpaceSaving};

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# BENCH_users: the million-user scale-out acceptance harness, via the
+# `bench_users` binary — columnar per-user aggregation vs the old
+# BTreeMap map-scan (wall time and peak live bytes), retry-chain
+# mining, and the streaming space-saving sketch vs an exact top-k
+# tally, at 10^4 / 10^5 / 10^6 Zipf users.
+#
+# Writes BENCH_users.json and fails when, at the largest scale, the
+# columnar engine is not at least MIN_SPEEDUP x faster than the
+# map-scan or does not hold a strictly lower peak, or when the sketch
+# strays outside its epsilon*W error bound at any scale.
+#
+# The peak-memory columns need the counting allocator, so the binary is
+# built with the bench crate's `obs-alloc` feature on top of whatever
+# BENCH_USERS_FLAGS selects (CI's sequential leg passes
+# `--no-default-features`; the obs-off leg drops obs-alloc entirely and
+# the peak check is skipped on its zeroed columns).
+#
+# Knobs: BENCH_USERS_MIN_SPEEDUP (default 2.0), BENCH_USERS_FLAGS
+# (extra cargo feature flags, default none => default features +
+# obs-alloc), BGQ_BENCH_FAST=1 for a 10^4-user smoke run in CI (no
+# floor check), BGQ_BENCH_USERS / BGQ_BENCH_USERS_ITERS forwarded to
+# the binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP="${BENCH_USERS_MIN_SPEEDUP:-2.0}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running million-user bench ..."
+# shellcheck disable=SC2086  # BENCH_USERS_FLAGS is intentionally a flag list
+cargo build --release -q -p bgq-bench --bin bench_users \
+    ${BENCH_USERS_FLAGS:---features obs-alloc}
+./target/release/bench_users > "$RAW"
+
+python3 - "$RAW" "$MIN_SPEEDUP" <<'PY'
+import json
+import sys
+
+raw_path, min_speedup = sys.argv[1], float(sys.argv[2])
+with open(raw_path, encoding="utf-8") as f:
+    result = json.load(f)
+result["min_speedup"] = min_speedup
+
+with open("BENCH_users.json", "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(json.dumps(result, indent=2))
+
+loose = [s for s in result["scales"] if not s["sketch_within_bound"]]
+if loose:
+    users = ", ".join(str(s["users"]) for s in loose)
+    sys.exit(f"sketch outside its epsilon*W bound at {users} users")
+
+if result.get("fast_mode"):
+    print("fast mode: skipping aggregation floor checks")
+    sys.exit(0)
+
+top = max(result["scales"], key=lambda s: s["users"])
+if top["agg_speedup"] < min_speedup:
+    sys.exit(
+        f"columnar aggregation only {top['agg_speedup']:.2f}x the map-scan "
+        f"at {top['users']} users (floor {min_speedup}x)"
+    )
+if result.get("alloc_tracking") and not (
+    top["columnar_peak_bytes"] < top["map_scan_peak_bytes"]
+):
+    sys.exit(
+        f"columnar peak {top['columnar_peak_bytes']} bytes not below the "
+        f"map-scan's {top['map_scan_peak_bytes']} at {top['users']} users"
+    )
+PY

@@ -625,6 +625,74 @@ fn poisoned_segment_trips_the_reject_ceiling_per_partition() {
     std::fs::remove_dir_all(&case_dir).ok();
 }
 
+/// Lineage-specific chaos: a log with *real* retry chains gets its
+/// `resubmit_of` column poisoned. The loader must reject exactly the
+/// poisoned rows, and the chain miner must digest the survivors —
+/// orphaned children whose parent row was rejected become counted
+/// dangling links, never a panic.
+#[test]
+fn poisoned_lineage_quarantines_rows_and_mining_survives() {
+    let mut ds = Dataset::new();
+    ds.jobs = bgq_sim::generate_jobs_only(
+        &SimConfig::small(3)
+            .with_seed(21)
+            .with_users(500, 50)
+            .with_jobs_per_day(2_000.0)
+            .with_retries(0.6),
+    );
+    ds.normalize();
+    let clean = bgq_core::chains::mine_chains(&ds.jobs);
+    assert!(clean.linked_jobs > 0, "corpus needs real chains to break");
+    assert_eq!(clean.dangling_links, 0, "the simulator emits clean lineage");
+
+    let dir = std::env::temp_dir().join(format!("bgq-chaos-lineage-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    snapshot::write_dir(&ds, &dir, &bgq_logs::store::SourceAvailability::ALL)
+        .expect("write snapshot");
+    let manifest = snapshot::read_manifest(&dir).expect("manifest");
+    let mut rng = SplitMix64::new(0xBAD_CA11);
+    let mut poisoned = 0usize;
+    for &day in &manifest.days {
+        let ledger = corrupt_segment(
+            &segment_path(&dir, "jobs", day),
+            SegmentCorruption::PoisonLineage,
+            &mut rng,
+        )
+        .expect("every day of a 3-day sim has job rows");
+        let SegmentFate::RowsRejected(k) = ledger.fate else {
+            panic!("lineage poison must predict row rejects: {}", ledger.to_json());
+        };
+        poisoned += k;
+    }
+    assert!(poisoned > 0);
+
+    let opts = LoadOptions {
+        max_reject_ratio: 1.0,
+        degraded: true,
+        ..LoadOptions::default()
+    };
+    let (loaded, report) = snapshot::read_dir_with(&dir, &opts).expect("degraded load");
+    assert_eq!(
+        report.segments.iter().map(|s| s.rejected).sum::<usize>(),
+        poisoned,
+        "exactly the poisoned rows are quarantined"
+    );
+    assert_eq!(loaded.jobs.len(), ds.jobs.len() - poisoned);
+
+    // The miner is total over the holes the quarantine punched.
+    let mined = bgq_core::chains::mine_chains(&loaded.jobs);
+    assert_eq!(
+        mined.length_hist.sum(),
+        loaded.jobs.len() as u64,
+        "every surviving job lands in exactly one chain"
+    );
+    assert!(
+        mined.linked_jobs + mined.dangling_links <= clean.linked_jobs,
+        "links can only be lost or orphaned, never invented"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// Permanent read faults: strict mode fails, degraded mode quarantines
 /// the table as an I/O loss and the analysis keeps going.
 #[test]

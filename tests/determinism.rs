@@ -58,6 +58,52 @@ fn parallel_analysis_is_bit_identical_to_sequential() {
     assert_eq!(format!("{par:?}"), format!("{seq:?}"));
 }
 
+/// The million-user layer's promise: columnar per-user aggregation and
+/// retry-chain mining are bit-identical across thread counts *and*
+/// across partition layouts. The input is a lineage-bearing log from the
+/// population-scale emitter, so real retry chains are on the table.
+#[test]
+fn columnar_and_chain_mining_are_bit_identical() {
+    use bgq_core::chains::mine_chains;
+    use bgq_core::columnar::{per_entity_columnar, DEFAULT_CHUNK_ROWS};
+
+    let jobs = bgq_sim::generate_jobs_only(
+        &SimConfig::small(3)
+            .with_seed(11)
+            .with_users(2_000, 200)
+            .with_jobs_per_day(5_000.0)
+            .with_retries(0.5),
+    );
+    assert!(jobs.iter().any(|j| j.resubmit_of.is_some()), "need real chains");
+
+    let par = bgq_par::with_max_threads(8, || {
+        (
+            per_entity_columnar(&jobs, |j| j.user.raw(), DEFAULT_CHUNK_ROWS),
+            per_entity_columnar(&jobs, |j| j.project.raw(), DEFAULT_CHUNK_ROWS),
+            mine_chains(&jobs),
+        )
+    });
+    let seq = bgq_par::with_max_threads(1, || {
+        (
+            per_entity_columnar(&jobs, |j| j.user.raw(), DEFAULT_CHUNK_ROWS),
+            per_entity_columnar(&jobs, |j| j.project.raw(), DEFAULT_CHUNK_ROWS),
+            mine_chains(&jobs),
+        )
+    });
+    assert_eq!(par.0, seq.0, "per-user columnar diverged across thread counts");
+    assert_eq!(par.1, seq.1, "per-project columnar diverged across thread counts");
+    assert_eq!(par.2, seq.2, "chain mining diverged across thread counts");
+
+    // Partition layout must not leak into results either — including
+    // f64 bits, which `PartialEq` on the row type compares directly.
+    for chunk_rows in [97, 1_000, 16_384] {
+        let alt = bgq_par::with_max_threads(8, || {
+            per_entity_columnar(&jobs, |j| j.user.raw(), chunk_rows)
+        });
+        assert_eq!(alt, seq.0, "chunk layout {chunk_rows} changed the aggregate");
+    }
+}
+
 #[test]
 fn parallel_join_is_bit_identical_to_sequential() {
     let out = generate(&SimConfig::small(20).with_seed(3));

@@ -14,6 +14,9 @@
 //! | `utilization_series` (interval clip)    | per-second stepping                   | bit-exact  |
 //! | streaming interned `Dataset` load       | original in-memory records            | bit-exact  |
 //! | columnar snapshot round-trip            | original in-memory records            | bit-exact  |
+//! | `mine_chains` (sorted single pass)      | quadratic whole-log reconstruction    | bit-exact  |
+//! | columnar per-user engine                | one linear scan per distinct user     | bit-exact  |
+//! | `SpaceSaving` top-k sketch              | exact tally + full sort               | ≤ εW bound |
 //!
 //! Random cases come from the vendored proptest harness (so failures
 //! shrink to minimal draw streams); the `#[ignore]`d corpus test replays
@@ -23,6 +26,8 @@
 //! Spearman pairing (`1e-12`): the two sides sum ranks in different
 //! orders. Everything else must match to the bit.
 
+use bgq_core::chains::mine_chains;
+use bgq_core::columnar::{per_entity_columnar, DEFAULT_CHUNK_ROWS};
 use bgq_core::queueing::utilization_series;
 use bgq_logs::interval::IntervalIndex;
 use bgq_logs::join::attribute_events;
@@ -30,11 +35,13 @@ use bgq_logs::snapshot;
 use bgq_logs::store::{Dataset, LoadOptions, SourceAvailability};
 use bgq_model::{Machine, Severity, Span, Timestamp};
 use bgq_oracle::cases::{self, AdversarialCase};
-use bgq_oracle::{binning, join as refjoin, ranking, stabbing, utilization};
+use bgq_oracle::{binning, join as refjoin, ranking, stabbing, users, utilization};
 use bgq_stats::correlation::spearman;
 use bgq_stats::histogram::Histogram;
 use bgq_stats::summary::Summary;
+use bgq_stats::topk::SpaceSaving;
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 
 fn ts(s: i64) -> Timestamp {
     Timestamp::from_secs(s)
@@ -304,6 +311,163 @@ fn check_snapshot_roundtrip(case: &AdversarialCase, dir: &std::path::Path) {
     }
 }
 
+/// Checks the chain miner against the quadratic reconstruction: the
+/// naive side rebuilds every chain by whole-log scans, then every
+/// headline statistic — chain count, corrupt-link count, length and gap
+/// histograms (rebuilt from scratch, relying on record-order
+/// invariance), eventual-success table, give-up rate, wasted
+/// node-seconds — must match exactly.
+fn check_chains(case: &AdversarialCase) {
+    let jobs = &case.lineage_jobs;
+    let got = mine_chains(jobs);
+    let (chains, dangling) = users::chains_naive(jobs);
+    let seed = case.seed;
+    assert_eq!(got.chains, chains.len(), "chain count diverged (seed {seed})");
+    assert_eq!(got.dangling_links, dangling, "dangling count diverged (seed {seed})");
+    assert_eq!(
+        got.linked_jobs,
+        jobs.len() - chains.len(),
+        "every non-root chain member carries one valid link (seed {seed})"
+    );
+
+    let mut length_hist = bgq_obs::Histogram::new();
+    let mut by_length: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+    let mut failed_chains = 0u64;
+    let mut gave_up = 0u64;
+    let mut wasted = 0u64;
+    for chain in &chains {
+        length_hist.record(chain.len() as u64);
+        let succeeded = chain.iter().any(|&i| jobs[i].exit_code == 0);
+        let failed = chain.iter().any(|&i| jobs[i].exit_code != 0);
+        let e = by_length.entry(chain.len()).or_default();
+        e.0 += 1;
+        e.1 += u64::from(succeeded);
+        if failed {
+            failed_chains += 1;
+            gave_up += u64::from(!succeeded);
+        }
+        if chain.len() >= 2 {
+            wasted += chain
+                .iter()
+                .filter(|&&i| jobs[i].exit_code != 0)
+                .map(|&i| jobs[i].node_seconds())
+                .sum::<u64>();
+        }
+    }
+    assert_eq!(got.length_hist, length_hist, "length histogram diverged (seed {seed})");
+    let want_lengths: Vec<(usize, u64, u64)> = by_length
+        .into_iter()
+        .map(|(l, (c, s))| (l, c, s))
+        .collect();
+    let got_lengths: Vec<(usize, u64, u64)> = got
+        .success_by_length
+        .iter()
+        .map(|r| (r.length, r.chains, r.succeeded))
+        .collect();
+    assert_eq!(got_lengths, want_lengths, "success-by-length diverged (seed {seed})");
+    let want_give_up = (failed_chains > 0).then(|| gave_up as f64 / failed_chains as f64);
+    assert_eq!(got.give_up_rate, want_give_up, "give-up rate diverged (seed {seed})");
+    assert_eq!(got.wasted_node_seconds, wasted, "wasted work diverged (seed {seed})");
+
+    // Gaps go per valid link, against the *named* parent (not the chain
+    // predecessor — corrupted logs can fork a chain).
+    let mut gap_hist = bgq_obs::Histogram::new();
+    for j in jobs {
+        let Some(p) = j.resubmit_of else { continue };
+        if p.raw() >= j.job_id.raw() {
+            continue;
+        }
+        if let Some(parent) = jobs.iter().find(|cand| cand.job_id == p) {
+            gap_hist.record((j.queued_at.as_secs() - parent.ended_at.as_secs()).max(0) as u64);
+        }
+    }
+    assert_eq!(got.gap_hist, gap_hist, "gap histogram diverged (seed {seed})");
+}
+
+/// Checks the sorted columnar per-user engine against the
+/// one-pass-per-user linear scan, across several partition layouts.
+fn check_per_user(case: &AdversarialCase) {
+    for jobs in [&case.jobs, &case.lineage_jobs] {
+        let want = users::per_user_scan(jobs);
+        for chunk_rows in [1, 3, 50, DEFAULT_CHUNK_ROWS] {
+            let got = per_entity_columnar(jobs, |j| j.user.raw(), chunk_rows);
+            assert_eq!(got.len(), want.len(), "row count diverged (seed {})", case.seed);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(
+                    (g.id, g.jobs, g.failed, g.node_seconds),
+                    (w.id, w.jobs, w.failed, w.node_seconds),
+                    "columnar row diverged at chunk {chunk_rows} (seed {})",
+                    case.seed
+                );
+                assert_eq!(
+                    g.core_hours.to_bits(),
+                    (w.node_seconds as f64 * 16.0 / 3_600.0).to_bits(),
+                    "core-hours must derive from exact node-seconds (seed {})",
+                    case.seed
+                );
+            }
+        }
+    }
+}
+
+/// Checks the space-saving sketch against the exact full-sort ranking:
+/// estimates never undercount, over-count at most the sketch's own
+/// error bound, every true heavy hitter above the bound is tracked, and
+/// an unsaturated sketch reproduces the exact ranking verbatim.
+fn check_sketch(updates: &[(u64, u64)], capacity: usize, what: &str) {
+    let mut sk = SpaceSaving::with_capacity(capacity);
+    for &(k, w) in updates {
+        sk.update(k, w);
+    }
+    let exact = users::top_k_exact(updates, usize::MAX);
+    let truth: BTreeMap<u64, u64> = exact.iter().copied().collect();
+    let bound = sk.error_bound();
+    for h in sk.top(usize::MAX) {
+        let t = truth.get(&h.key).copied().unwrap_or(0);
+        assert!(h.count >= t, "{what}: sketch undercounted key {}", h.key);
+        assert!(
+            h.count - t <= bound,
+            "{what}: key {} over-counted by {} > εW {bound}",
+            h.key,
+            h.count - t
+        );
+        assert!(h.guaranteed() <= t, "{what}: guaranteed floor broken for key {}", h.key);
+    }
+    let tracked: Vec<u64> = sk.top(usize::MAX).iter().map(|h| h.key).collect();
+    for &(k, t) in &exact {
+        if t > bound {
+            assert!(tracked.contains(&k), "{what}: heavy key {k} (weight {t}) missing");
+        }
+    }
+    if truth.len() <= capacity {
+        // Never saturated: the sketch *is* the exact ranking.
+        let got: Vec<(u64, u64)> = sk.top(usize::MAX).iter().map(|h| (h.key, h.count)).collect();
+        assert_eq!(got, exact, "{what}: unsaturated sketch must be exact");
+    }
+}
+
+/// The sketch pairing over a case's job log: top users by wasted
+/// node-seconds (failed jobs, weighted) and by failure count.
+fn check_sketch_over_jobs(case: &AdversarialCase) {
+    let failed: Vec<&bgq_model::JobRecord> = case
+        .lineage_jobs
+        .iter()
+        .filter(|j| j.exit_code != 0)
+        .collect();
+    let by_waste: Vec<(u64, u64)> = failed
+        .iter()
+        .map(|j| (u64::from(j.user.raw()), j.node_seconds()))
+        .collect();
+    let by_count: Vec<(u64, u64)> = failed
+        .iter()
+        .map(|j| (u64::from(j.user.raw()), 1))
+        .collect();
+    for capacity in [1, 2, 8, 64] {
+        check_sketch(&by_waste, capacity, "wasted node-seconds");
+        check_sketch(&by_count, capacity, "failure count");
+    }
+}
+
 fn check_utilization(case: &AdversarialCase) {
     let got = utilization_series(&case.jobs, &Machine::MIRA, 1);
     let want = utilization::utilization_by_seconds(&case.jobs, &Machine::MIRA, 1);
@@ -406,6 +570,26 @@ proptest! {
     fn utilization_matches_second_stepping(seed in 0u64..1_000_000) {
         check_utilization(&cases::generate(seed));
     }
+
+    #[test]
+    fn chain_miner_matches_quadratic_reconstruction(seed in 0u64..1_000_000) {
+        check_chains(&cases::generate(seed));
+    }
+
+    #[test]
+    fn columnar_aggregation_matches_linear_scan(seed in 0u64..1_000_000) {
+        check_per_user(&cases::generate(seed));
+    }
+}
+
+proptest! {
+    #[test]
+    fn sketch_stays_within_epsilon_of_exact(
+        updates in proptest::collection::vec((0u64..120, 0u64..1_000), 0..250),
+        capacity in 1usize..50,
+    ) {
+        check_sketch(&updates, capacity, "random stream");
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -431,6 +615,9 @@ fn fixed_seed_adversarial_corpus() {
         }
         check_join(&case);
         check_utilization(&case);
+        check_chains(&case);
+        check_per_user(&case);
+        check_sketch_over_jobs(&case);
         check_interned_roundtrip(&case, &base.join(seed.to_string()));
         check_snapshot_roundtrip(&case, &base.join(format!("{seed}-snap")));
     }

@@ -12,7 +12,7 @@
 //!    through the snapshot store to the same canonical form.
 //! 3. **Partitioned build parity** — the analysis built per-partition
 //!    from the snapshot's [`PartitionMap`] equals the monolithic build.
-//! 4. **Format stability** — a committed v1 fixture snapshot keeps
+//! 4. **Format stability** — a committed v2 fixture snapshot keeps
 //!    loading bit-identically; regenerate it with
 //!    `BGQ_UPDATE_SNAPSHOT_FIXTURE=1 cargo test --test snapshot` if the
 //!    format version is ever bumped (the test then fails until the new
@@ -137,7 +137,7 @@ fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("fixtures")
-        .join("snapshot_v1")
+        .join("snapshot_v2")
 }
 
 /// A snapshot written by an older build of the same format version must
@@ -145,7 +145,7 @@ fn fixture_dir() -> PathBuf {
 /// wire-format pin: any accidental change to the header layout, column
 /// packing, string-table encoding, or checksum breaks here first.
 #[test]
-fn committed_v1_fixture_snapshot_still_loads() {
+fn committed_v2_fixture_snapshot_still_loads() {
     let dir = fixture_dir();
     let want = fixture_dataset();
     if std::env::var_os("BGQ_UPDATE_SNAPSHOT_FIXTURE").is_some() {
