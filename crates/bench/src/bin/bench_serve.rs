@@ -1,0 +1,226 @@
+//! Serve-daemon throughput benchmark: a full in-process deployment —
+//! live writer appending day partitions, ingest poller publishing
+//! epoch-swapped views, TCP worker pool — hammered by concurrent
+//! clients issuing the mixed query workload over real sockets.
+//!
+//! This is the acceptance harness for the serve layer:
+//! `scripts/bench_serve.sh` captures the emitted JSON into the
+//! committed `BENCH_serve.json` and enforces the sustained-throughput
+//! floor (≥ 1000 mixed queries/s) in full mode. Latency percentiles are
+//! computed over every query's wall time (write + server turnaround +
+//! framed read on a warm connection), merged across clients.
+//!
+//! Epochs keep swapping underneath the clients for the whole run: the
+//! writer commits a new day every `BGQ_BENCH_SERVE_TICK_MS` from a feed
+//! whose horizon is sized to outlast the measurement window, so the
+//! numbers include ingestion churn, not an idle read-only daemon.
+//!
+//! Emits one JSON document on stdout (progress goes to stderr).
+//!
+//! Knobs:
+//! * `BGQ_BENCH_FAST=1` — CI smoke mode: 2 s run, 4 clients, no
+//!   floor-worthy numbers (the script skips the floor check).
+//! * `BGQ_BENCH_SERVE_SECS` — measurement window (default 10; 2 fast).
+//! * `BGQ_BENCH_SERVE_CLIENTS` — client threads (default 8; 4 fast).
+//! * `BGQ_BENCH_SERVE_WORKERS` — server worker threads (default 4).
+//! * `BGQ_BENCH_SERVE_TICK_MS` — writer commit interval (default 50).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bgq_logs::store::LoadOptions;
+use bgq_serve::{spawn_poller, start, Client, EpochStore, Ingestor, ServerOptions};
+use bgq_sim::{LiveEmitter, SimConfig};
+
+/// The mixed workload, cycled per client with a per-client phase so the
+/// kinds interleave across connections.
+const QUERIES: &[&str] = &[
+    "STATS",
+    "MTTI",
+    "MTTI FATAL",
+    "RATE-BY-SCALE",
+    "AFFECTED FATAL",
+    "AFFECTED WARN",
+    "TOPK 10",
+    "USER 1",
+    "USER 7",
+    "USER 999999",
+];
+
+fn env_num<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let fast = std::env::var_os("BGQ_BENCH_FAST").is_some();
+    let secs: u64 = env_num("BGQ_BENCH_SERVE_SECS", if fast { 2 } else { 10 });
+    let clients: usize = env_num("BGQ_BENCH_SERVE_CLIENTS", if fast { 4 } else { 8 });
+    // A worker owns an established connection for its lifetime, so the
+    // pool must be at least as large as the persistent client herd.
+    let workers: usize = env_num("BGQ_BENCH_SERVE_WORKERS", clients);
+    let tick_ms: u64 = env_num("BGQ_BENCH_SERVE_TICK_MS", 50);
+
+    let dir: PathBuf = std::env::temp_dir().join(format!("bgq-bench-serve-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear stale bench dir");
+    }
+    // Horizon sized to the measurement window: a seeded prefix so epoch
+    // 1 is substantial, plus one day per writer tick for the whole run
+    // (with slack), so days keep landing — and epochs keep swapping —
+    // until the clock runs out.
+    let seed_days = 10u32;
+    let horizon = seed_days + u32::try_from(secs * 1000 / tick_ms.max(1)).unwrap_or(u32::MAX) + 10;
+    let config = SimConfig::small(horizon)
+        .with_seed(4242)
+        .with_users(500, 50)
+        .with_retries(0.3);
+
+    eprintln!("[bench_serve] generating the {horizon}-day live feed ...");
+    let mut emitter = LiveEmitter::new(&config, &dir).expect("live emitter");
+    for _ in 0..seed_days {
+        emitter.emit_next_day().expect("seed day");
+    }
+
+    let load = LoadOptions {
+        max_reject_ratio: 0.0,
+        max_retries: 0,
+        degraded: true,
+    };
+    let store = Arc::new(EpochStore::new());
+    let mut ingestor = Ingestor::new(&dir, Arc::clone(&store), load);
+    ingestor.poll().expect("initial poll");
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = spawn_poller(ingestor, Duration::from_millis(10), Arc::clone(&stop));
+    let handle = start(
+        Arc::clone(&store),
+        &ServerOptions {
+            addr: "127.0.0.1:0".to_owned(),
+            workers,
+        },
+    )
+    .expect("start server");
+    let addr = handle.addr().to_string();
+    eprintln!(
+        "[bench_serve] daemon on {addr}: epoch {}, {} day(s) seeded",
+        store.current().epoch,
+        store.current().days.len()
+    );
+
+    // The writer keeps days landing for the whole window (the horizon
+    // above guarantees it does not run dry before the deadline).
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut emitter = emitter;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(tick_ms));
+                if emitter.emit_next_day().expect("emit day").is_none() {
+                    break;
+                }
+            }
+        })
+    };
+
+    eprintln!("[bench_serve] {clients} clients x {secs}s mixed workload ...");
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let started = Instant::now();
+    let client_threads: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("bench connect");
+                let mut samples: Vec<u64> = Vec::with_capacity(1 << 16);
+                let mut errors = 0u64;
+                let mut i = c; // phase offset
+                while Instant::now() < deadline {
+                    let q = QUERIES[i % QUERIES.len()];
+                    i += 1;
+                    let t = Instant::now();
+                    match client.query(q) {
+                        Ok(reply) => {
+                            assert!(reply.starts_with("OK "), "bench query failed: {reply:?}");
+                            samples.push(t.elapsed().as_nanos() as u64);
+                        }
+                        Err(_) => errors += 1,
+                    }
+                }
+                (samples, errors)
+            })
+        })
+        .collect();
+
+    let mut samples: Vec<u64> = Vec::new();
+    let mut errors = 0u64;
+    for t in client_threads {
+        let (s, e) = t.join().expect("client thread");
+        samples.extend(s);
+        errors += e;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer");
+    poller.join().expect("poller");
+    let last = store.current();
+    let swaps = store.swaps();
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).expect("clean bench dir");
+
+    samples.sort_unstable();
+    let total = samples.len();
+    let qps = total as f64 / elapsed;
+    let us = |ns: u64| ns as f64 / 1e3;
+    eprintln!(
+        "[bench_serve] {total} queries in {elapsed:.2}s = {qps:.0} qps \
+         (p50 {:.0}us p99 {:.0}us, {swaps} epoch swaps)",
+        us(percentile(&samples, 0.50)),
+        us(percentile(&samples, 0.99)),
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"BENCH_serve\",\n");
+    out.push_str(
+        "  \"workload\": \"in-process serve daemon over a live feed sized \
+         to the window (500 Zipf users, retries 0.3): writer commits a day \
+         per tick, \
+         ingest poller publishes epoch-swapped views, concurrent clients \
+         cycle the mixed query set over warm TCP connections; latency is \
+         per-query wall time merged across clients\",\n",
+    );
+    out.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    out.push_str(&format!("  \"duration_s\": {elapsed:.2},\n"));
+    out.push_str(&format!("  \"clients\": {clients},\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!("  \"writer_tick_ms\": {tick_ms},\n"));
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
+    out.push_str(&format!("  \"queries\": {total},\n"));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"qps\": {qps:.1},\n"));
+    out.push_str(&format!("  \"p50_us\": {:.1},\n", us(percentile(&samples, 0.50))));
+    out.push_str(&format!("  \"p90_us\": {:.1},\n", us(percentile(&samples, 0.90))));
+    out.push_str(&format!("  \"p99_us\": {:.1},\n", us(percentile(&samples, 0.99))));
+    out.push_str(&format!(
+        "  \"max_us\": {:.1},\n",
+        us(samples.last().copied().unwrap_or(0))
+    ));
+    out.push_str(&format!("  \"epoch_swaps\": {swaps},\n"));
+    out.push_str(&format!("  \"final_epoch\": {},\n", last.epoch));
+    out.push_str(&format!("  \"final_days\": {}\n", last.days.len()));
+    out.push_str("}\n");
+    print!("{out}");
+}

@@ -15,7 +15,8 @@ use bgq_logs::snapshot::{self, PartitionMap};
 use bgq_logs::store::{Dataset, LoadOptions, SourceAvailability};
 use bgq_model::{Severity, Span};
 use bgq_obs::manifest::RunManifest;
-use bgq_sim::{generate, generate_to_snapshot, SimConfig};
+use bgq_serve::{start as serve_start, Client, EpochStore, Ingestor, ServerOptions, spawn_poller};
+use bgq_sim::{generate, generate_to_snapshot, LiveEmitter, SimConfig};
 
 /// Errors surfaced to the user (exit code 1, message on stderr).
 #[derive(Debug)]
@@ -26,6 +27,8 @@ pub enum CliError {
     Store(bgq_logs::store::StoreError),
     /// Snapshot read/write failure.
     Snapshot(snapshot::SnapshotError),
+    /// Serve daemon / query client network failure.
+    Serve(std::io::Error),
     /// `--metrics` manifest could not be written.
     Metrics {
         /// Destination the manifest was headed for.
@@ -60,6 +63,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Store(e) => write!(f, "dataset error: {e}"),
             CliError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            CliError::Serve(e) => write!(f, "serve error: {e}"),
             CliError::Metrics { path, source } => {
                 write!(f, "failed writing metrics to {}: {source}", path.display())
             }
@@ -117,6 +121,7 @@ GLOBAL FLAGS (valid before or after any command):
 USAGE:
   mira-mine gen --out DIR [--days N] [--seed S] [--full] [--snapshot]
                 [--users N [--projects P]] [--retry P]
+                [--live [--interval-ms MS] [--start-days K]]
       Generate a synthetic Mira trace into DIR (jobs/ras/tasks/io CSVs).
       --days N    horizon in days (default 60)
       --seed S    RNG seed (default 1)
@@ -129,6 +134,14 @@ USAGE:
       --retry P   probability in [0,1] that a user-caused failure is
                   resubmitted (chained via the resubmit_of column;
                   default 0 = retries off, byte-identical to older traces)
+      --live      emit the trace as a live snapshot feed: commit the first
+                  --start-days day partitions immediately (default 1), then
+                  append one day every --interval-ms milliseconds (default
+                  1000; 0 = as fast as possible). Each tick writes the
+                  day's segments first and appends the MANIFEST line last,
+                  so a concurrent `serve` daemon only ever sees committed
+                  days. The finished directory is byte-identical to
+                  `gen --snapshot`.
 
   mira-mine import SRC DEST
       Load a CSV trace from SRC and write it as a partitioned columnar
@@ -181,6 +194,27 @@ USAGE:
                        of `off` disables that gate. Counters are
                        deterministic, wall time is machine-dependent —
                        cross-machine gates should pass wall=off.
+
+  mira-mine serve DIR [--port P] [--workers N] [--poll-ms MS]
+      Run the always-on analysis daemon over the snapshot directory DIR.
+      The daemon tails DIR's MANIFEST (O(new days) per poll), extends the
+      partitioned index incrementally as `gen --live` commits new days,
+      and publishes each consistent view as an epoch-swapped snapshot —
+      queries never block on ingestion and always see a complete epoch.
+      Answers a line protocol over TCP: USER <id>, MTTI [SEV],
+      RATE-BY-SCALE, AFFECTED <SEV>, TOPK <k>, STATS. Corrupt segments
+      are quarantined per table (load is always degraded-tolerant) and
+      surfaced in STATS. Runs until killed.
+      --port P     TCP port on 127.0.0.1 (default 7411; 0 = ephemeral)
+      --workers N  query worker threads (default 4); a worker owns an
+                   established connection for its lifetime, so size this
+                   to the expected concurrent clients
+      --poll-ms MS manifest poll interval (default 200)
+
+  mira-mine query ADDR QUERY...
+      Send one or more protocol queries to a running serve daemon at
+      ADDR (host:port) over a single connection and print the framed
+      replies, e.g.: mira-mine query 127.0.0.1:7411 STATS \"MTTI FATAL\"
 
   mira-mine help
       Show this message.";
@@ -303,6 +337,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("predict") => cmd_predict(&rest[1..], &opts),
         Some("users") => cmd_users(&rest[1..], &opts),
         Some("profile") => cmd_profile(&rest[1..], &opts),
+        Some("serve") => cmd_serve(&rest[1..], &opts),
+        Some("query") => cmd_query(&rest[1..]),
         Some("help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::Usage(format!("unknown command {other:?}"))),
     };
@@ -436,6 +472,9 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
     if let Err(msg) = config.validate() {
         return Err(CliError::Usage(format!("invalid generation config: {msg}")));
     }
+    if args.iter().any(|a| a == "--live") {
+        return cmd_gen_live(args, &config, &out_dir);
+    }
     let (output, snapshot_stats) = if args.iter().any(|a| a == "--snapshot") {
         let (output, stats) = generate_to_snapshot(&config, &out_dir)?;
         (output, Some(stats))
@@ -459,6 +498,120 @@ fn cmd_gen(args: &[String]) -> Result<String, CliError> {
             stats.days,
             group_thousands(stats.bytes)
         ));
+    }
+    Ok(out)
+}
+
+/// `gen --live`: drives a [`LiveEmitter`], committing day partitions on
+/// an interval so a concurrent `serve` daemon has something to tail.
+fn cmd_gen_live(
+    args: &[String],
+    config: &SimConfig,
+    out_dir: &Path,
+) -> Result<String, CliError> {
+    let interval_ms: u64 = parse_num(args, "--interval-ms")?.unwrap_or(1000);
+    let start_days: usize = parse_num(args, "--start-days")?.unwrap_or(1);
+    let mut emitter = LiveEmitter::new(config, out_dir)?;
+    let total = emitter.total_days();
+    while emitter.remaining_days() > 0 {
+        if emitter.emitted_days() >= start_days && interval_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        }
+        if let Some((day, stats)) = emitter.emit_next_day()? {
+            bgq_obs::info!(
+                "live: committed day {day} ({}/{total}, {} segments, {} bytes)",
+                emitter.emitted_days(),
+                stats.segments,
+                stats.bytes
+            );
+        }
+    }
+    let ds = &emitter.output().dataset;
+    Ok(format!(
+        "live emission complete: {} day partitions ({} jobs, {} RAS events, {} tasks, {} I/O profiles) to {}",
+        total,
+        group_thousands(ds.jobs.len() as u64),
+        group_thousands(ds.ras.len() as u64),
+        group_thousands(ds.tasks.len() as u64),
+        group_thousands(ds.io.len() as u64),
+        out_dir.display()
+    ))
+}
+
+/// `serve DIR`: the always-on analysis daemon. Never returns (runs
+/// until the process is killed).
+fn cmd_serve(args: &[String], opts: &GlobalOpts) -> Result<String, CliError> {
+    let dir: PathBuf = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or_else(|| CliError::Usage("serve requires a snapshot DIR".into()))?
+        .into();
+    let port: u16 = parse_num(args, "--port")?.unwrap_or(7411);
+    let workers: usize = parse_num(args, "--workers")?.unwrap_or(4);
+    let poll_ms: u64 = parse_num(args, "--poll-ms")?.unwrap_or(200);
+    // A live daemon always quarantines faults instead of dying on them;
+    // --max-reject-ratio still tunes row-level leniency.
+    let load = LoadOptions {
+        max_reject_ratio: opts.max_reject_ratio.unwrap_or(0.0),
+        degraded: true,
+        ..LoadOptions::default()
+    };
+    let store = std::sync::Arc::new(EpochStore::new());
+    let mut ingestor = Ingestor::new(&dir, std::sync::Arc::clone(&store), load);
+    // First poll happens before the socket opens so the daemon never
+    // answers from the empty epoch when data is already committed. A
+    // missing MANIFEST is fine (epoch 0 until the feed appears); real
+    // manifest corruption is fatal at startup.
+    ingestor.poll()?;
+    let handle = serve_start(
+        std::sync::Arc::clone(&store),
+        &ServerOptions {
+            addr: format!("127.0.0.1:{port}"),
+            workers,
+        },
+    )
+    .map_err(CliError::Serve)?;
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let _poller = spawn_poller(
+        ingestor,
+        std::time::Duration::from_millis(poll_ms.max(1)),
+        std::sync::Arc::clone(&stop),
+    );
+    // The banner goes straight to stdout: `run` only prints on return,
+    // and a daemon never returns.
+    println!(
+        "serving {} on {} ({} workers, poll {poll_ms}ms, epoch {})",
+        dir.display(),
+        handle.addr(),
+        workers.max(1),
+        store.current().epoch
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `query ADDR QUERY...`: one connection, framed replies verbatim.
+fn cmd_query(args: &[String]) -> Result<String, CliError> {
+    let (addr, queries) = match args.split_first() {
+        Some((addr, rest)) if !rest.is_empty() => (addr, rest),
+        _ => {
+            return Err(CliError::Usage(
+                "query requires ADDR and at least one QUERY".into(),
+            ))
+        }
+    };
+    let mut client = Client::connect(addr).map_err(CliError::Serve)?;
+    let mut out = String::new();
+    for q in queries {
+        out.push_str(&client.query(q).map_err(CliError::Serve)?);
+    }
+    // Replies end in \n already; strip the final one since `run`'s
+    // caller appends a newline on print.
+    if out.ends_with('\n') {
+        out.pop();
     }
     Ok(out)
 }

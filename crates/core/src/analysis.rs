@@ -206,7 +206,11 @@ impl Analysis {
     }
 
     /// Stamps the load-time quarantine markers onto a finished analysis.
-    fn mark_degraded(mut self, avail: &SourceAvailability) -> Self {
+    /// Public so incremental hosts (the serve layer) that reuse a cached
+    /// [`IndexBuilder`](crate::index::IndexBuilder) + [`Analysis::run_indexed`]
+    /// produce exactly what [`Analysis::run_degraded_partitioned`] does.
+    #[must_use]
+    pub fn mark_degraded(mut self, avail: &SourceAvailability) -> Self {
         self.degraded = degraded_stages(avail);
         for d in &self.degraded {
             bgq_obs::add_labeled("analysis.degraded", d.stage, 1);

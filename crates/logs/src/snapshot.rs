@@ -706,21 +706,11 @@ pub fn write_dir(
     }
 
     let map = PartitionMap::of_dataset(ds);
-    // I/O rows keyed by owning job's start day (0 when the job is absent).
-    let job_days: HashMap<JobId, i64> = ds
-        .jobs
-        .iter()
-        .map(|j| (j.job_id, day_of(j.started_at)))
-        .collect();
-    let mut io_by_day: HashMap<i64, Vec<usize>> = HashMap::new();
-    for (i, r) in ds.io.iter().enumerate() {
-        let day = job_days.get(&r.job_id).copied().unwrap_or(0);
-        io_by_day.entry(day).or_default().push(i);
-    }
+    let io_parts = io_partition(ds);
+    let io_by_day: HashMap<i64, &Vec<usize>> =
+        io_parts.iter().map(|(d, idxs)| (*d, idxs)).collect();
     let mut days: Vec<i64> = map.days.iter().map(|s| s.day).collect();
-    let mut io_days: Vec<i64> = io_by_day.keys().copied().collect();
-    io_days.sort_unstable();
-    days.extend(io_days);
+    days.extend(io_parts.iter().map(|(d, _)| *d));
     days.sort_unstable();
     days.dedup();
 
@@ -758,6 +748,35 @@ pub fn write_dir(
         }
     }
 
+    let mpath = root.join(MANIFEST_FILE);
+    std::fs::write(&mpath, manifest_text(avail, &days)).map_err(|e| io_err(&mpath, e))?;
+    bgq_obs::add("snapshot.writes", 1);
+    Ok(stats)
+}
+
+/// I/O row indices grouped by the partition day of the owning job's
+/// start (day 0 when the job is unknown), day-ascending — exactly the
+/// grouping [`write_dir`] uses to slice the I/O table into segments
+/// (the I/O log carries no timestamp of its own).
+#[must_use]
+pub fn io_partition(ds: &Dataset) -> Vec<(i64, Vec<usize>)> {
+    let job_days: HashMap<JobId, i64> = ds
+        .jobs
+        .iter()
+        .map(|j| (j.job_id, day_of(j.started_at)))
+        .collect();
+    let mut by_day: HashMap<i64, Vec<usize>> = HashMap::new();
+    for (i, r) in ds.io.iter().enumerate() {
+        let day = job_days.get(&r.job_id).copied().unwrap_or(0);
+        by_day.entry(day).or_default().push(i);
+    }
+    let mut out: Vec<(i64, Vec<usize>)> = by_day.into_iter().collect();
+    out.sort_unstable_by_key(|(d, _)| *d);
+    out
+}
+
+/// Renders the manifest text for `avail` and `days`.
+fn manifest_text(avail: &SourceAvailability, days: &[i64]) -> String {
     let mut manifest = format!("bgq-snapshot {FORMAT_VERSION}\nendian little\n");
     for table in TABLES {
         let state = if avail.available(table) {
@@ -767,12 +786,116 @@ pub fn write_dir(
         };
         manifest.push_str(&format!("table {table} {state}\n"));
     }
-    for day in &days {
+    for day in days {
         manifest.push_str(&format!("day {day}\n"));
     }
+    manifest
+}
+
+// ---------------------------------------------------------------------------
+// Live append (tailing writers)
+// ---------------------------------------------------------------------------
+
+/// One day's rows across the four tables, for [`append_day`]. Each slice
+/// must be in the table's canonical order; I/O rows are the ones whose
+/// owning job starts on `day` (see [`io_partition`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DayRows<'a> {
+    /// Partition day (unix epoch days).
+    pub day: i64,
+    /// Jobs starting on this day.
+    pub jobs: &'a [JobRecord],
+    /// RAS events on this day.
+    pub ras: &'a [RasRecord],
+    /// Tasks starting on this day.
+    pub tasks: &'a [TaskRecord],
+    /// I/O profiles of jobs starting on this day.
+    pub io: &'a [IoRecord],
+}
+
+/// Initializes an **empty** snapshot root for live appending: clears any
+/// stale snapshot files and writes a MANIFEST carrying availability but
+/// no day lines yet. [`append_day`] then grows the snapshot one day at a
+/// time, and a [`ManifestTail`] on the reading side discovers each day
+/// as it commits.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on any filesystem failure.
+pub fn init_dir(root: &Path, avail: &SourceAvailability) -> Result<(), SnapshotError> {
+    std::fs::create_dir_all(root).map_err(|e| io_err(root, e))?;
+    for entry in std::fs::read_dir(root).map_err(|e| io_err(root, e))? {
+        let entry = entry.map_err(|e| io_err(root, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name == MANIFEST_FILE || (name.starts_with('d') && name.ends_with(".seg")) {
+            std::fs::remove_file(entry.path()).map_err(|e| io_err(&entry.path(), e))?;
+        }
+    }
     let mpath = root.join(MANIFEST_FILE);
-    std::fs::write(&mpath, manifest).map_err(|e| io_err(&mpath, e))?;
-    bgq_obs::add("snapshot.writes", 1);
+    std::fs::write(&mpath, manifest_text(avail, &[])).map_err(|e| io_err(&mpath, e))?;
+    Ok(())
+}
+
+/// Appends one day's segments to a live snapshot root.
+///
+/// The write order is the tailer's commit protocol: every segment file
+/// lands on disk first, and only then is the `day N` line appended to
+/// the MANIFEST — so a reader that discovers the day through the
+/// manifest (via [`ManifestTail`] or [`read_manifest`]) never observes a
+/// day whose segments are still being written. Days must be appended in
+/// strictly ascending order (the manifest contract); `avail` must match
+/// the availability recorded by [`init_dir`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] on any filesystem failure, including a
+/// missing MANIFEST (the root was never initialized).
+pub fn append_day(
+    root: &Path,
+    rows: &DayRows<'_>,
+    avail: &SourceAvailability,
+) -> Result<SnapshotWriteStats, SnapshotError> {
+    let _span = bgq_obs::span!("snapshot.append_day");
+    let mpath = root.join(MANIFEST_FILE);
+    if !mpath.is_file() {
+        return Err(SnapshotError::Manifest {
+            path: mpath.display().to_string(),
+            detail: "missing — call init_dir before append_day".to_owned(),
+        });
+    }
+    let day = rows.day;
+    let segments: [(&'static str, Vec<u8>); 4] = [
+        ("jobs", encode_segment("jobs", day, SegmentRows::Jobs(rows.jobs))),
+        ("ras", encode_segment("ras", day, SegmentRows::Ras(rows.ras))),
+        ("tasks", encode_segment("tasks", day, SegmentRows::Tasks(rows.tasks))),
+        ("io", encode_segment("io", day, SegmentRows::Io(rows.io))),
+    ];
+    let mut stats = SnapshotWriteStats {
+        days: 1,
+        segments: 0,
+        bytes: 0,
+    };
+    for (table, bytes) in segments {
+        if !avail.available(table) {
+            continue;
+        }
+        let path = segment_path(root, table, day);
+        std::fs::write(&path, &bytes).map_err(|e| io_err(&path, e))?;
+        stats.segments += 1;
+        stats.bytes += bytes.len() as u64;
+        bgq_obs::add_labeled("snapshot.segments_written", table, 1);
+        bgq_obs::hist_record_labeled("snapshot.segment_bytes", table, bytes.len() as u64);
+    }
+    // Commit point: the day becomes visible to readers only here.
+    use io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&mpath)
+        .map_err(|e| io_err(&mpath, e))?;
+    f.write_all(format!("day {day}\n").as_bytes())
+        .map_err(|e| io_err(&mpath, e))?;
+    bgq_obs::add("snapshot.appends", 1);
     Ok(stats)
 }
 
@@ -862,6 +985,176 @@ pub fn read_manifest(root: &Path) -> Result<Manifest, SnapshotError> {
         availability,
         days,
     })
+}
+
+/// Incremental MANIFEST tailer: discovers newly committed partition days
+/// by reading only the bytes appended since the previous poll.
+///
+/// [`read_manifest`] re-reads and re-parses the whole file every call;
+/// polling a 2001-day live log that way is O(days) per tick and O(days²)
+/// over the system life. The tailer instead remembers its byte offset
+/// into the MANIFEST (always left at a line boundary) and each
+/// [`ManifestTail::discover_new`] call reads only the appended suffix,
+/// so tailing is O(new segments).
+///
+/// The writer-side contract ([`append_day`]) makes this sound: the
+/// manifest is strictly append-only, a `day` line is written only after
+/// its segments are on disk, and days ascend. A manifest that shrinks or
+/// yields a non-ascending day is corruption and surfaces as
+/// [`SnapshotError::Manifest`].
+#[derive(Debug)]
+pub struct ManifestTail {
+    root: PathBuf,
+    /// Bytes of the MANIFEST consumed so far (line-boundary aligned).
+    offset: u64,
+    /// Highest day discovered so far.
+    last_day: Option<i64>,
+    availability: SourceAvailability,
+    /// Whether the version header line has been parsed yet.
+    header_seen: bool,
+}
+
+impl ManifestTail {
+    /// A tailer over `<root>/MANIFEST` that has consumed nothing yet.
+    /// The file need not exist yet — discovery simply reports no days
+    /// until it does.
+    #[must_use]
+    pub fn new(root: &Path) -> ManifestTail {
+        ManifestTail {
+            root: root.to_owned(),
+            offset: 0,
+            last_day: None,
+            availability: SourceAvailability::ALL,
+            header_seen: false,
+        }
+    }
+
+    /// Highest day discovered so far, if any.
+    #[must_use]
+    pub fn last_day(&self) -> Option<i64> {
+        self.last_day
+    }
+
+    /// Per-table availability parsed from the manifest header (ALL until
+    /// the header has been seen).
+    #[must_use]
+    pub fn availability(&self) -> SourceAvailability {
+        self.availability
+    }
+
+    /// Bytes of the MANIFEST consumed so far — the regression handle for
+    /// the O(new segments) contract: a poll after one appended day
+    /// advances this by exactly that day line's length.
+    #[must_use]
+    pub fn bytes_consumed(&self) -> u64 {
+        self.offset
+    }
+
+    /// Reads any bytes appended to the MANIFEST since the last call and
+    /// returns the newly committed days, ascending. A missing manifest
+    /// (the writer has not initialized the root yet) is not an error —
+    /// it reports no days. Only complete (newline-terminated) lines are
+    /// consumed; a torn final line is left for the next poll.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError::Manifest`] when the file shrank, the
+    /// header is unsupported, or a directive is malformed or yields a
+    /// non-ascending day.
+    pub fn discover_new(&mut self) -> Result<Vec<i64>, SnapshotError> {
+        use std::io::{Read as _, Seek as _};
+        let path = self.root.join(MANIFEST_FILE);
+        let bad = |detail: String| SnapshotError::Manifest {
+            path: path.display().to_string(),
+            detail,
+        };
+        let mut file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound && self.offset == 0 => {
+                return Ok(Vec::new())
+            }
+            Err(e) => return Err(bad(format!("unreadable: {e}"))),
+        };
+        let len = file.metadata().map_err(|e| bad(format!("unreadable: {e}")))?.len();
+        if len < self.offset {
+            return Err(bad(format!(
+                "shrank from {} to {len} bytes — not an append-only live log",
+                self.offset
+            )));
+        }
+        if len == self.offset {
+            return Ok(Vec::new());
+        }
+        file.seek(io::SeekFrom::Start(self.offset))
+            .map_err(|e| bad(format!("unreadable: {e}")))?;
+        let mut buf = Vec::with_capacity((len - self.offset) as usize);
+        file.read_to_end(&mut buf)
+            .map_err(|e| bad(format!("unreadable: {e}")))?;
+        let complete = buf
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |p| p + 1);
+        let text = std::str::from_utf8(&buf[..complete])
+            .map_err(|_| bad("manifest is not UTF-8".to_owned()))?;
+        let mut new_days = Vec::new();
+        for line in text.lines() {
+            if !self.header_seen {
+                let version = line
+                    .strip_prefix("bgq-snapshot ")
+                    .and_then(|v| v.parse::<u32>().ok())
+                    .ok_or_else(|| bad(format!("bad header line {line:?}")))?;
+                if version != FORMAT_VERSION {
+                    return Err(bad(format!(
+                        "unsupported version {version} (this build reads {FORMAT_VERSION})"
+                    )));
+                }
+                self.header_seen = true;
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                Some("endian") => {
+                    let e = parts.next().unwrap_or_default();
+                    if e != "little" {
+                        return Err(bad(format!("unsupported endianness {e:?}")));
+                    }
+                }
+                Some("table") => {
+                    let name = parts.next().unwrap_or_default();
+                    let ok = match parts.next().unwrap_or_default() {
+                        "available" => true,
+                        "unavailable" => false,
+                        other => return Err(bad(format!("bad table state {other:?}"))),
+                    };
+                    match name {
+                        "jobs" => self.availability.jobs = ok,
+                        "ras" => self.availability.ras = ok,
+                        "tasks" => self.availability.tasks = ok,
+                        "io" => self.availability.io = ok,
+                        other => return Err(bad(format!("unknown table {other:?}"))),
+                    }
+                }
+                Some("day") => {
+                    let d = parts
+                        .next()
+                        .and_then(|d| d.parse::<i64>().ok())
+                        .ok_or_else(|| bad(format!("bad day line {line:?}")))?;
+                    if self.last_day.is_some_and(|last| d <= last) {
+                        return Err(bad(format!(
+                            "day {d} not after day {} — manifest is not append-ordered",
+                            self.last_day.unwrap_or_default()
+                        )));
+                    }
+                    self.last_day = Some(d);
+                    new_days.push(d);
+                }
+                Some(other) => return Err(bad(format!("unknown directive {other:?}"))),
+                None => {}
+            }
+        }
+        self.offset += complete as u64;
+        Ok(new_days)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1351,6 +1644,36 @@ pub fn read_dir_with(
 ) -> Result<(Dataset, SnapshotReport), SnapshotError> {
     let _span = bgq_obs::span!("snapshot.load");
     let manifest = read_manifest(root)?;
+    load_segments(root, &manifest.availability, &manifest.days, opts)
+}
+
+/// Resilient load of an explicit subset of partition days — the
+/// tailing-reader entry point. `days` are typically the newly committed
+/// days a [`ManifestTail`] just discovered, and `avail` its parsed
+/// availability; the per-segment resilience semantics are exactly those
+/// of [`read_dir_with`].
+///
+/// # Errors
+///
+/// See [`read_dir_with`].
+pub fn read_days_with(
+    root: &Path,
+    days: &[i64],
+    avail: &SourceAvailability,
+    opts: &LoadOptions,
+) -> Result<(Dataset, SnapshotReport), SnapshotError> {
+    let _span = bgq_obs::span!("snapshot.load_days");
+    load_segments(root, avail, days, opts)
+}
+
+/// Shared segment-loading body of [`read_dir_with`] and
+/// [`read_days_with`].
+fn load_segments(
+    root: &Path,
+    availability: &SourceAvailability,
+    days: &[i64],
+    opts: &LoadOptions,
+) -> Result<(Dataset, SnapshotReport), SnapshotError> {
     let limit = if opts.max_reject_ratio.is_nan() {
         0.0
     } else {
@@ -1368,8 +1691,8 @@ pub fn read_dir_with(
     // errors and degraded reports are identical to a sequential pass.
     let work: Vec<(&'static str, i64)> = TABLES
         .iter()
-        .filter(|t| manifest.availability.available(t))
-        .flat_map(|&t| manifest.days.iter().map(move |&d| (t, d)))
+        .filter(|t| availability.available(t))
+        .flat_map(|&t| days.iter().map(move |&d| (t, d)))
         .collect();
     let decoded = bgq_par::par_map(&work, |&(t, d)| read_segment(t, d, root));
     // Reserve the final tables once: appending ~2000 day segments into
@@ -1393,7 +1716,7 @@ pub fn read_dir_with(
             retries: 0,
             first_schema_error: None,
         };
-        if !manifest.availability.available(table) {
+        if !availability.available(table) {
             if !opts.degraded {
                 return Err(SnapshotError::Unavailable { table });
             }
@@ -1402,7 +1725,7 @@ pub fn read_dir_with(
             report.load.tables.push(stats);
             continue;
         }
-        for &day in &manifest.days {
+        for &day in days {
             let mut out = outcomes.next().expect("one outcome per scheduled segment");
             // Per-segment reject ceiling: one corrupt day must not hide
             // under the whole-table aggregate (nor fail the other 2000).
@@ -1876,5 +2199,207 @@ mod tests {
         assert_eq!(map.len(), 2);
         assert_eq!(map.days[0].tasks, 0..1);
         assert_eq!(map.days[1].tasks, 1..2);
+    }
+
+    /// Replays `ds` through init_dir + one append_day per day.
+    fn append_all(ds: &Dataset, root: &Path) {
+        init_dir(root, &SourceAvailability::ALL).unwrap();
+        let map = PartitionMap::of_dataset(ds);
+        let io_parts = io_partition(ds);
+        let mut days: Vec<i64> = map.days.iter().map(|s| s.day).collect();
+        days.extend(io_parts.iter().map(|(d, _)| *d));
+        days.sort_unstable();
+        days.dedup();
+        for day in days {
+            let empty = 0..0;
+            let (jr, rr, tr) = map
+                .days
+                .iter()
+                .find(|s| s.day == day)
+                .map(|s| (s.jobs.clone(), s.ras.clone(), s.tasks.clone()))
+                .unwrap_or((empty.clone(), empty.clone(), empty));
+            let io_rows: Vec<IoRecord> = io_parts
+                .iter()
+                .find(|(d, _)| *d == day)
+                .map(|(_, idxs)| idxs.iter().map(|&i| ds.io[i].clone()).collect())
+                .unwrap_or_default();
+            let rows = DayRows {
+                day,
+                jobs: &ds.jobs[jr],
+                ras: &ds.ras[rr],
+                tasks: &ds.tasks[tr],
+                io: &io_rows,
+            };
+            append_day(root, &rows, &SourceAvailability::ALL).unwrap();
+        }
+    }
+
+    #[test]
+    fn live_append_is_byte_identical_to_bulk_write() {
+        let ds = sample();
+        let bulk = tmp("bulk");
+        let live = tmp("live");
+        write_dir(&ds, &bulk, &SourceAvailability::ALL).unwrap();
+        append_all(&ds, &live);
+        // Same manifest bytes, same segment files byte-for-byte.
+        assert_eq!(
+            std::fs::read(bulk.join(MANIFEST_FILE)).unwrap(),
+            std::fs::read(live.join(MANIFEST_FILE)).unwrap()
+        );
+        for table in TABLES {
+            for day in [15804, 15805] {
+                assert_eq!(
+                    std::fs::read(segment_path(&bulk, table, day)).unwrap(),
+                    std::fs::read(segment_path(&live, table, day)).unwrap(),
+                    "{table}/day {day} diverged"
+                );
+            }
+        }
+        let (loaded, _) = read_dir(&live).unwrap();
+        assert_eq!(loaded, ds);
+        std::fs::remove_dir_all(&bulk).unwrap();
+        std::fs::remove_dir_all(&live).unwrap();
+    }
+
+    #[test]
+    fn append_day_without_init_is_a_manifest_error() {
+        let root = tmp("noinit");
+        std::fs::create_dir_all(&root).unwrap();
+        let rows = DayRows {
+            day: 1,
+            jobs: &[],
+            ras: &[],
+            tasks: &[],
+            io: &[],
+        };
+        assert!(matches!(
+            append_day(&root, &rows, &SourceAvailability::ALL).unwrap_err(),
+            SnapshotError::Manifest { .. }
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Regression for the O(full MANIFEST re-read per poll) tailing
+    /// path: after the initial discovery, a poll following one appended
+    /// day consumes exactly that day line's bytes — not the whole file.
+    #[test]
+    fn manifest_tail_discovery_is_incremental() {
+        let ds = sample();
+        let root = tmp("tail");
+        let mut tail = ManifestTail::new(&root);
+        // Nothing on disk yet: no days, no error.
+        assert_eq!(tail.discover_new().unwrap(), Vec::<i64>::new());
+        append_all(&ds, &root);
+        assert_eq!(tail.discover_new().unwrap(), vec![15804, 15805]);
+        assert_eq!(tail.last_day(), Some(15805));
+        assert!(tail.availability().missing().is_empty());
+        let consumed = tail.bytes_consumed();
+        assert_eq!(
+            consumed,
+            std::fs::metadata(root.join(MANIFEST_FILE)).unwrap().len()
+        );
+        // Idle poll: nothing read, nothing discovered.
+        assert_eq!(tail.discover_new().unwrap(), Vec::<i64>::new());
+        assert_eq!(tail.bytes_consumed(), consumed);
+        // One appended day: the poll consumes only that line.
+        let rows = DayRows {
+            day: 15810,
+            jobs: &[],
+            ras: &[],
+            tasks: &[],
+            io: &[],
+        };
+        append_day(&root, &rows, &SourceAvailability::ALL).unwrap();
+        assert_eq!(tail.discover_new().unwrap(), vec![15810]);
+        assert_eq!(
+            tail.bytes_consumed() - consumed,
+            "day 15810\n".len() as u64,
+            "tail re-read more than the appended line"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn manifest_tail_leaves_torn_lines_for_the_next_poll() {
+        use std::io::Write as _;
+        let ds = sample();
+        let root = tmp("torn");
+        append_all(&ds, &root);
+        let mut tail = ManifestTail::new(&root);
+        tail.discover_new().unwrap();
+        let mpath = root.join(MANIFEST_FILE);
+        let mut f = std::fs::OpenOptions::new().append(true).open(&mpath).unwrap();
+        f.write_all(b"day 158").unwrap();
+        f.flush().unwrap();
+        // The torn line is invisible until its newline lands.
+        assert_eq!(tail.discover_new().unwrap(), Vec::<i64>::new());
+        f.write_all(b"10\n").unwrap();
+        f.flush().unwrap();
+        assert_eq!(tail.discover_new().unwrap(), vec![15810]);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn manifest_tail_rejects_shrinks_and_disorder() {
+        use std::io::Write as _;
+        let ds = sample();
+        let root = tmp("tailbad");
+        append_all(&ds, &root);
+        let mut tail = ManifestTail::new(&root);
+        tail.discover_new().unwrap();
+        // Out-of-order day.
+        let mpath = root.join(MANIFEST_FILE);
+        let clean = std::fs::read(&mpath).unwrap();
+        let mut f = std::fs::OpenOptions::new().append(true).open(&mpath).unwrap();
+        f.write_all(b"day 15804\n").unwrap();
+        drop(f);
+        assert!(matches!(
+            tail.discover_new().unwrap_err(),
+            SnapshotError::Manifest { .. }
+        ));
+        // Shrunk file.
+        std::fs::write(&mpath, &clean).unwrap();
+        let mut tail = ManifestTail::new(&root);
+        tail.discover_new().unwrap();
+        std::fs::write(&mpath, &clean[..clean.len() / 2]).unwrap();
+        assert!(matches!(
+            tail.discover_new().unwrap_err(),
+            SnapshotError::Manifest { .. }
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn read_days_subset_matches_the_full_load_prefix() {
+        let ds = sample();
+        let root = tmp("subset");
+        write_dir(&ds, &root, &SourceAvailability::ALL).unwrap();
+        let (full, _) = read_dir(&root).unwrap();
+        let (first, report) = read_days_with(
+            &root,
+            &[15804],
+            &SourceAvailability::ALL,
+            &LoadOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(first.jobs, full.jobs[..2]);
+        assert_eq!(first.ras, full.ras[..1]);
+        assert!(report.quarantined_segments().is_empty());
+        // Appending the remaining day's rows reproduces the full load.
+        let (second, _) = read_days_with(
+            &root,
+            &[15805],
+            &SourceAvailability::ALL,
+            &LoadOptions::default(),
+        )
+        .unwrap();
+        let mut merged = first;
+        merged.jobs.extend(second.jobs);
+        merged.ras.extend(second.ras);
+        merged.tasks.extend(second.tasks);
+        merged.io.extend(second.io);
+        merged.normalize();
+        assert_eq!(merged, full);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 }

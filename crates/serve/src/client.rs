@@ -1,0 +1,122 @@
+//! Minimal blocking client for the line protocol, shared by the CLI
+//! `query` subcommand and the test/bench harnesses.
+
+use std::io::{self, BufRead as _, BufReader, Write as _};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One connection to a serve daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error.
+    pub fn connect(addr: &str) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        // Generous guard against a hung daemon; normal replies are
+        // immediate.
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one query line and reads the complete framed reply
+    /// (header plus all payload lines), returned verbatim.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on a broken connection or a malformed
+    /// frame header.
+    pub fn query(&mut self, line: &str) -> io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.read_reply()
+    }
+
+    /// Writes `bytes` in fragments whose sizes `frag` picks (given the
+    /// remaining byte count; clamped to it), flushing between
+    /// fragments, then reads one framed reply. Robustness-test helper:
+    /// exercises the server's partial-line reassembly.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on a broken connection or malformed frame.
+    pub fn send_fragmented(
+        &mut self,
+        bytes: &[u8],
+        mut frag: impl FnMut(usize) -> usize,
+    ) -> io::Result<String> {
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let n = frag(rest.len()).clamp(1, rest.len());
+            self.writer.write_all(&rest[..n])?;
+            self.writer.flush()?;
+            rest = &rest[n..];
+        }
+        self.read_reply()
+    }
+
+    fn read_reply(&mut self) -> io::Result<String> {
+        let mut head = String::new();
+        if self.reader.read_line(&mut head)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before reply",
+            ));
+        }
+        let mut out = head.clone();
+        if let Some(rest) = head.strip_prefix("OK ") {
+            let n: usize = rest
+                .split_whitespace()
+                .nth(1)
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed OK header: {}", head.trim_end()),
+                    )
+                })?;
+            for _ in 0..n {
+                let mut line = String::new();
+                if self.reader.read_line(&mut line)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-payload",
+                    ));
+                }
+                out.push_str(&line);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Epoch tag of an `OK` reply, if it is one.
+#[must_use]
+pub fn epoch_of(reply: &str) -> Option<u64> {
+    reply
+        .strip_prefix("OK ")?
+        .split_whitespace()
+        .next()?
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn epoch_of_parses_ok_headers_only() {
+        assert_eq!(super::epoch_of("OK 17 3\nx\ny\nz\n"), Some(17));
+        assert_eq!(super::epoch_of("ERR nope\n"), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! Always-on failure-analysis daemon.
+//!
+//! The paper's analyses are one-shot batch jobs; this crate turns the
+//! toolkit into the shape a production fleet service takes — a
+//! long-lived process answering reliability queries (per-user reports,
+//! MTTI, failure-rate-by-scale, RAS-affected jobs) over a *live*,
+//! appending log stream:
+//!
+//! * [`ingest`] tails a live snapshot directory through
+//!   [`bgq_logs::snapshot::ManifestTail`], loading only newly committed
+//!   day segments and extending the partitioned index incrementally
+//!   (cached per-day artifacts are reused, so a tick costs O(new days)).
+//! * [`epoch`] holds the epoch-swap machinery: each consistent view is
+//!   an immutable [`epoch::Epoch`] published behind an
+//!   `RwLock<Arc<Epoch>>`. Queries clone the `Arc` under a momentary
+//!   read lock and then answer entirely off-lock, so ingestion never
+//!   blocks queries and queries never block ingestion; dropping the
+//!   last reader of a superseded epoch frees it.
+//! * [`protocol`] is the zero-dependency line protocol: one query per
+//!   line, `OK <epoch> <n>` + `n` payload lines or `ERR <reason>` back.
+//! * [`server`] is the TCP front end: one acceptor plus a worker-thread
+//!   pool, bounded per-connection buffers, and malformed input answered
+//!   with `ERR` while the connection survives.
+//! * [`client`] is the small blocking client the CLI `query` subcommand
+//!   and the test harness share.
+//!
+//! Everything is instrumented through bgq-obs: `serve.queries{kind}`,
+//! `serve.epoch_swaps`, `serve.protocol_errors`, and per-query latency
+//! histograms (`serve.query_ns{kind}`).
+
+pub mod client;
+pub mod epoch;
+pub mod ingest;
+pub mod protocol;
+pub mod server;
+
+pub use client::{epoch_of, Client};
+pub use epoch::{Epoch, EpochStore, QuarantinedSegment};
+pub use ingest::{spawn_poller, Ingestor};
+pub use protocol::{parse_query, respond, Query};
+pub use server::{start, ServerHandle, ServerOptions};

@@ -35,6 +35,7 @@ pub mod catalog;
 pub mod config;
 pub mod incidents;
 pub mod iogen;
+pub mod live;
 pub mod rasgen;
 pub mod scheduler;
 pub mod sim;
@@ -45,6 +46,7 @@ pub mod workload;
 
 pub use config::SimConfig;
 pub use incidents::Incident;
+pub use live::LiveEmitter;
 pub use sim::{generate, generate_to_snapshot, SimOutput};
 pub use userscale::generate_jobs_only;
 pub use truth::GroundTruth;

@@ -1,0 +1,233 @@
+//! Real-time emission mode: replay a generated trace into a live
+//! snapshot directory one partition day at a time.
+//!
+//! The emitter generates the full trace up front (so the stream is
+//! deterministic — the same seed always yields the same day sequence)
+//! and then appends day partitions through the snapshot layer's
+//! commit-ordered [`append_day`] path. Tests drive the tick explicitly
+//! via [`LiveEmitter::emit_next_day`]; the CLI's `gen --live` adds a
+//! wall-clock interval on top. A tailing reader (`mira-mine serve`)
+//! discovers each committed day through a
+//! [`ManifestTail`](bgq_logs::snapshot::ManifestTail) and always sees a
+//! prefix of the eventual bulk snapshot: after the final tick the
+//! directory is byte-identical to what [`generate_to_snapshot`] writes.
+//!
+//! [`append_day`]: bgq_logs::snapshot::append_day
+//! [`generate_to_snapshot`]: crate::generate_to_snapshot
+
+use std::path::{Path, PathBuf};
+
+use bgq_logs::snapshot::{
+    self, DayRows, PartitionMap, SnapshotError, SnapshotWriteStats,
+};
+use bgq_logs::store::{Dataset, SourceAvailability};
+use bgq_model::IoRecord;
+
+use crate::config::SimConfig;
+use crate::sim::{generate, SimOutput};
+
+/// Day-by-day replay of a generated trace into a snapshot root.
+#[derive(Debug)]
+pub struct LiveEmitter {
+    output: SimOutput,
+    parts: PartitionMap,
+    /// Union of partition days across all four tables, ascending.
+    days: Vec<i64>,
+    /// Owned I/O rows per entry of `days` (the I/O table partitions by
+    /// the owning job's start day, not by its own order).
+    io_by_day: Vec<Vec<IoRecord>>,
+    root: PathBuf,
+    /// Index into `days` of the next day to emit.
+    next: usize,
+}
+
+impl LiveEmitter {
+    /// Generates the trace for `config` and initializes `root` as an
+    /// empty live snapshot (all tables available).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] when the root cannot be initialized.
+    pub fn new(config: &SimConfig, root: &Path) -> Result<LiveEmitter, SnapshotError> {
+        LiveEmitter::over(generate(config), root)
+    }
+
+    /// Wraps an already generated output (callers that also need the
+    /// ground truth generate once and hand the output over).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] when the root cannot be initialized.
+    pub fn over(output: SimOutput, root: &Path) -> Result<LiveEmitter, SnapshotError> {
+        snapshot::init_dir(root, &SourceAvailability::ALL)?;
+        let parts = PartitionMap::of_dataset(&output.dataset);
+        let io_parts = snapshot::io_partition(&output.dataset);
+        let mut days: Vec<i64> = parts.days.iter().map(|s| s.day).collect();
+        days.extend(io_parts.iter().map(|(d, _)| *d));
+        days.sort_unstable();
+        days.dedup();
+        let mut io_by_day = vec![Vec::new(); days.len()];
+        for (day, idxs) in io_parts {
+            let slot = days.binary_search(&day).expect("io day is in the union");
+            io_by_day[slot] = idxs.iter().map(|&i| output.dataset.io[i].clone()).collect();
+        }
+        Ok(LiveEmitter {
+            output,
+            parts,
+            days,
+            io_by_day,
+            root: root.to_owned(),
+            next: 0,
+        })
+    }
+
+    /// Total partition days the trace spans.
+    #[must_use]
+    pub fn total_days(&self) -> usize {
+        self.days.len()
+    }
+
+    /// Days emitted so far.
+    #[must_use]
+    pub fn emitted_days(&self) -> usize {
+        self.next
+    }
+
+    /// Days still to emit.
+    #[must_use]
+    pub fn remaining_days(&self) -> usize {
+        self.days.len() - self.next
+    }
+
+    /// The full generated output (dataset + ground truth).
+    #[must_use]
+    pub fn output(&self) -> &SimOutput {
+        &self.output
+    }
+
+    /// The live snapshot root being appended to.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Appends the next day's segments and commits its manifest line.
+    /// Returns the day and its write stats, or `None` when the trace is
+    /// fully emitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on any filesystem failure.
+    pub fn emit_next_day(
+        &mut self,
+    ) -> Result<Option<(i64, SnapshotWriteStats)>, SnapshotError> {
+        let Some(&day) = self.days.get(self.next) else {
+            return Ok(None);
+        };
+        let ds = &self.output.dataset;
+        let empty = 0..0;
+        let (jr, rr, tr) = self
+            .parts
+            .days
+            .iter()
+            .find(|s| s.day == day)
+            .map(|s| (s.jobs.clone(), s.ras.clone(), s.tasks.clone()))
+            .unwrap_or((empty.clone(), empty.clone(), empty));
+        let rows = DayRows {
+            day,
+            jobs: &ds.jobs[jr],
+            ras: &ds.ras[rr],
+            tasks: &ds.tasks[tr],
+            io: &self.io_by_day[self.next],
+        };
+        let stats = snapshot::append_day(&self.root, &rows, &SourceAvailability::ALL)?;
+        self.next += 1;
+        bgq_obs::add("sim.live.days_emitted", 1);
+        Ok(Some((day, stats)))
+    }
+
+    /// Emits every remaining day; returns how many were appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on any filesystem failure.
+    pub fn emit_all(&mut self) -> Result<usize, SnapshotError> {
+        let mut n = 0;
+        while self.emit_next_day()?.is_some() {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// The dataset a batch loader would see over the emitted prefix —
+    /// exactly the days committed so far, in canonical order.
+    #[must_use]
+    pub fn emitted_prefix(&self) -> Dataset {
+        let ds = &self.output.dataset;
+        let mut out = Dataset::new();
+        for (slot, &day) in self.days[..self.next].iter().enumerate() {
+            if let Some(s) = self.parts.days.iter().find(|s| s.day == day) {
+                out.jobs.extend_from_slice(&ds.jobs[s.jobs.clone()]);
+                out.ras.extend_from_slice(&ds.ras[s.ras.clone()]);
+                out.tasks.extend_from_slice(&ds.tasks[s.tasks.clone()]);
+            }
+            out.io.extend(self.io_by_day[slot].iter().cloned());
+        }
+        out.normalize();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgq_logs::snapshot::{read_dir, ManifestTail, MANIFEST_FILE};
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("bgq-live-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn full_emission_matches_the_bulk_snapshot() {
+        let config = SimConfig::small(4).with_seed(11);
+        let bulk = tmp("bulk");
+        let live = tmp("stream");
+        let (out, _) = crate::generate_to_snapshot(&config, &bulk).unwrap();
+        let mut em = LiveEmitter::new(&config, &live).unwrap();
+        assert_eq!(em.emitted_days(), 0);
+        let n = em.emit_all().unwrap();
+        assert_eq!(n, em.total_days());
+        assert_eq!(
+            std::fs::read(bulk.join(MANIFEST_FILE)).unwrap(),
+            std::fs::read(live.join(MANIFEST_FILE)).unwrap(),
+            "live stream must converge to the bulk manifest"
+        );
+        let (loaded, _) = read_dir(&live).unwrap();
+        assert_eq!(loaded, out.dataset);
+        assert_eq!(em.emitted_prefix(), out.dataset);
+        std::fs::remove_dir_all(&bulk).unwrap();
+        std::fs::remove_dir_all(&live).unwrap();
+    }
+
+    #[test]
+    fn each_tick_commits_a_loadable_prefix() {
+        let config = SimConfig::small(3).with_seed(5);
+        let live = tmp("prefix");
+        let mut em = LiveEmitter::new(&config, &live).unwrap();
+        let mut tail = ManifestTail::new(&live);
+        assert_eq!(tail.discover_new().unwrap(), Vec::<i64>::new());
+        while let Some((day, stats)) = em.emit_next_day().unwrap() {
+            assert!(stats.segments > 0 || stats.bytes > 0);
+            assert_eq!(tail.discover_new().unwrap(), vec![day]);
+            let (loaded, _) = read_dir(&live).unwrap();
+            assert_eq!(
+                loaded,
+                em.emitted_prefix(),
+                "day {day}: committed prefix diverged from the batch load"
+            );
+        }
+        assert_eq!(em.remaining_days(), 0);
+        assert!(em.emit_next_day().unwrap().is_none());
+        std::fs::remove_dir_all(&live).unwrap();
+    }
+}

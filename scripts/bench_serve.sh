@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# BENCH_serve: the always-on daemon acceptance harness, via the
+# `bench_serve` binary — a full in-process deployment (live writer
+# appending day partitions, ingest poller publishing epoch-swapped
+# views, TCP worker pool) under a mixed query workload from concurrent
+# client connections.
+#
+# Writes BENCH_serve.json and fails when the sustained mixed-query
+# throughput falls below MIN_QPS, when any client saw a transport
+# error, or when the run published no epoch swaps (a daemon that never
+# ingested anything is not the thing under test).
+#
+# Knobs: BENCH_SERVE_MIN_QPS (default 1000), BENCH_SERVE_FLAGS (extra
+# cargo feature flags, default none => default features),
+# BGQ_BENCH_FAST=1 for a 2-second smoke run in CI (no floor check),
+# BGQ_BENCH_SERVE_SECS / _CLIENTS / _WORKERS / _TICK_MS forwarded to
+# the binary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_QPS="${BENCH_SERVE_MIN_QPS:-1000}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running serve-daemon bench ..."
+# shellcheck disable=SC2086  # BENCH_SERVE_FLAGS is intentionally a flag list
+cargo build --release -q -p bgq-bench --bin bench_serve \
+    ${BENCH_SERVE_FLAGS:-}
+./target/release/bench_serve > "$RAW"
+
+python3 - "$RAW" "$MIN_QPS" <<'PY'
+import json
+import sys
+
+raw_path, min_qps = sys.argv[1], float(sys.argv[2])
+with open(raw_path, encoding="utf-8") as f:
+    result = json.load(f)
+result["min_qps"] = min_qps
+
+with open("BENCH_serve.json", "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(json.dumps(result, indent=2))
+
+if result["errors"]:
+    sys.exit(f"{result['errors']} client transport error(s) during the run")
+if result["epoch_swaps"] < 1:
+    sys.exit("no epoch swaps during the run: the live feed never ingested")
+
+if result.get("fast_mode"):
+    print("fast mode: skipping throughput floor check")
+    sys.exit(0)
+
+if result["qps"] < min_qps:
+    sys.exit(
+        f"sustained {result['qps']:.0f} mixed qps below the "
+        f"{min_qps:.0f} qps floor"
+    )
+PY

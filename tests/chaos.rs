@@ -718,3 +718,157 @@ fn permanent_read_fault_quarantines_in_degraded_mode() {
     let analysis = Analysis::run_degraded(&loaded, &report.availability());
     assert!(analysis.degraded.iter().any(|d| d.stage == "ras"));
 }
+
+// ---------------------------------------------------------------------------
+// Live-tail chaos: corruption injected into a feed a serve daemon is
+// actively tailing.
+// ---------------------------------------------------------------------------
+
+/// Batch oracle for the live daemon: a cold degraded load of the whole
+/// directory rendered into an `Epoch` with the daemon's epoch number.
+fn live_batch_epoch(
+    root: &Path,
+    epoch_no: u64,
+    load: &LoadOptions,
+) -> bgq_serve::Epoch {
+    let manifest = snapshot::read_manifest(root).expect("manifest");
+    let (ds, report) = snapshot::read_dir_with(root, load).expect("batch load");
+    let quarantined = report
+        .quarantined_segments()
+        .into_iter()
+        .map(|seg| bgq_serve::QuarantinedSegment {
+            table: seg.table,
+            day: seg.day,
+            reason: seg.quarantined.expect("quarantine reason"),
+        })
+        .collect();
+    let parts = snapshot::PartitionMap::of_dataset(&ds);
+    bgq_serve::Epoch::build(
+        epoch_no,
+        &ds,
+        &parts,
+        &manifest.days,
+        &manifest.availability,
+        &mut bgq_core::index::IndexBuilder::new(),
+        quarantined,
+    )
+}
+
+/// Corruption lands in segments *as they appear* in a live feed: the
+/// daemon quarantines per table, raises the degraded banner in `STATS`,
+/// never drops the established connection, and every post-fault reply
+/// stays ledger-exact (byte-identical to the batch oracle over the same
+/// faulted directory, with row counts matching the injector's ledger).
+#[test]
+fn live_tail_quarantines_faults_without_dropping_connections() {
+    use std::sync::Arc;
+
+    let dir = std::env::temp_dir().join(format!("bgq-chaos-live-{}", std::process::id()));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    let config = SimConfig::small(6).with_seed(99).with_users(20, 2);
+    let mut emitter = bgq_sim::LiveEmitter::new(&config, &dir).expect("live emitter");
+    let load = LoadOptions {
+        max_reject_ratio: 1.0,
+        degraded: true,
+        ..LoadOptions::default()
+    };
+    let store = Arc::new(bgq_serve::EpochStore::new());
+    let mut ingestor = bgq_serve::Ingestor::new(&dir, Arc::clone(&store), load.clone());
+    let handle =
+        bgq_serve::start(Arc::clone(&store), &bgq_serve::ServerOptions::default()).unwrap();
+    let mut client = bgq_serve::Client::connect(&handle.addr().to_string()).unwrap();
+    let queries = [
+        "STATS",
+        "MTTI",
+        "MTTI FATAL",
+        "RATE-BY-SCALE",
+        "AFFECTED FATAL",
+        "TOPK 5",
+        "USER 1",
+    ];
+    let assert_matches_oracle = |client: &mut bgq_serve::Client, tag: &str| {
+        let epoch_no = store.current().epoch;
+        let oracle = live_batch_epoch(&dir, epoch_no, &load);
+        for q in &queries {
+            let live = client.query(q).expect("query over surviving connection");
+            let batch = bgq_serve::respond(&oracle, &bgq_serve::parse_query(q).unwrap());
+            assert_eq!(live, batch, "{tag}: {q} diverges from the batch oracle");
+        }
+    };
+
+    // Two clean days first: the healthy baseline.
+    emitter.emit_next_day().unwrap().unwrap();
+    emitter.emit_next_day().unwrap().unwrap();
+    assert_eq!(ingestor.poll().unwrap(), 2);
+    let stats = client.query("STATS").unwrap();
+    assert!(stats.contains("degraded none"), "clean feed: {stats}");
+    assert_matches_oracle(&mut client, "clean prefix");
+
+    // Fault 1: a bit flip lands in day 3's RAS segment right after the
+    // writer commits it, before the daemon polls.
+    let mut rng = SplitMix64::new(0xdead);
+    let (day3, _) = emitter.emit_next_day().unwrap().unwrap();
+    let ras_ledger = corrupt_segment(
+        &segment_path(&dir, "ras", day3),
+        SegmentCorruption::FlipPayloadByte,
+        &mut rng,
+    )
+    .expect("flip ras payload");
+    assert_eq!(ras_ledger.fate, SegmentFate::Quarantined(SegmentQuarantine::Checksum));
+    assert_eq!(ingestor.poll().unwrap(), 1);
+    let stats = client.query("STATS").unwrap();
+    assert!(stats.contains("degraded ras"), "{stats}");
+    assert!(
+        stats.contains(&format!("quarantine ras {day3} checksum mismatch")),
+        "{stats}"
+    );
+    assert_matches_oracle(&mut client, "after ras flip");
+
+    // Fault 2 on the same still-open connection: day 4's jobs segment
+    // vanishes between commit and poll.
+    let (day4, _) = emitter.emit_next_day().unwrap().unwrap();
+    let jobs_ledger = corrupt_segment(
+        &segment_path(&dir, "jobs", day4),
+        SegmentCorruption::DeleteSegment,
+        &mut rng,
+    )
+    .expect("delete jobs segment");
+    assert_eq!(jobs_ledger.fate, SegmentFate::Quarantined(SegmentQuarantine::Missing));
+    assert_eq!(ingestor.poll().unwrap(), 1);
+    let stats = client.query("STATS").unwrap();
+    assert!(stats.contains("degraded jobs,ras"), "{stats}");
+    assert!(
+        stats.contains(&format!("quarantine jobs {day4} missing file")),
+        "{stats}"
+    );
+    assert_matches_oracle(&mut client, "after jobs delete");
+
+    // The feed recovers: the remaining days arrive clean, the same
+    // connection keeps answering, and the row accounting is exactly the
+    // emitted corpus minus the two quarantined segments.
+    while emitter.emit_next_day().unwrap().is_some() {}
+    ingestor.poll().unwrap();
+    assert_matches_oracle(&mut client, "after recovery");
+    let full = emitter.emitted_prefix();
+    let epoch = store.current();
+    assert_eq!(
+        epoch.rows[0],
+        full.jobs.len() - rows_in_segment(&full, "jobs", day4).len(),
+        "jobs rows must drop exactly the deleted segment"
+    );
+    assert_eq!(
+        epoch.rows[1],
+        full.ras.len() - rows_in_segment(&full, "ras", day3).len(),
+        "ras rows must drop exactly the flipped segment"
+    );
+    assert_eq!(epoch.rows[2], full.tasks.len(), "tasks stay untouched");
+    assert_eq!(epoch.rows[3], full.io.len(), "io stays untouched");
+    assert_eq!(epoch.days.len(), emitter.total_days());
+    assert_eq!(ras_ledger.rows, rows_in_segment(&full, "ras", day3).len());
+    assert_eq!(jobs_ledger.rows, rows_in_segment(&full, "jobs", day4).len());
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
